@@ -1,0 +1,41 @@
+// Command munin-bench regenerates the paper's figures, tables and
+// quantitative claims (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	munin-bench [-nodes N] [-exp F1|T1|E1|...|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"munin/internal/bench"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of simulated processors")
+	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E9, or all)")
+	flag.Parse()
+
+	runners := map[string]func(int) *bench.Result{
+		"F1": bench.F1, "T1": bench.T1, "E1": bench.E1, "E2": bench.E2,
+		"E3": bench.E3, "E4": bench.E4, "E5": bench.E5, "E6": bench.E6,
+		"E7": bench.E7, "E8": bench.E8, "E9": bench.E9,
+	}
+
+	if strings.EqualFold(*exp, "all") {
+		for _, r := range bench.All(*nodes) {
+			fmt.Println(r)
+		}
+		return
+	}
+	run, ok := runners[strings.ToUpper(*exp)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E9, or all\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Println(run(*nodes))
+}

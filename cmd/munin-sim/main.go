@@ -1,0 +1,117 @@
+// Command munin-sim runs one study application over a chosen system
+// (munin, ivy, or the hand-coded message-passing baseline where
+// available) and prints the traffic bill.
+//
+// Usage:
+//
+//	munin-sim -app life -system munin -nodes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"munin/internal/api"
+	"munin/internal/apps"
+	"munin/internal/core"
+	"munin/internal/ivy"
+	"munin/internal/mp"
+	"munin/internal/transport"
+)
+
+func main() {
+	app := flag.String("app", "matmul", "application: matmul gauss fft qsort tsp life")
+	system := flag.String("system", "munin", "system: munin ivy mp")
+	nodes := flag.Int("nodes", 4, "number of simulated processors")
+	size := flag.Int("size", 0, "problem size override (0 = default)")
+	page := flag.Int("page", 1024, "ivy page size")
+	flag.Parse()
+
+	cost := transport.DefaultCostModel()
+
+	if *system == "mp" {
+		h, err := mp.NewHarness(*nodes, cost)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer h.Close()
+		var result any
+		switch *app {
+		case "matmul":
+			m := apps.MatMul{N: dflt(*size, 32), Threads: *nodes, Seed: 1}
+			result = h.MatMul(m.N, m.ElemA, m.ElemB)
+		case "gauss":
+			g := apps.Gauss{N: dflt(*size, 24), Threads: *nodes, Seed: 2}
+			result = h.Gauss(g.N, g.Elem)
+		case "life":
+			l := apps.Life{Rows: dflt(*size, 32), Cols: 24, Generations: 6, Threads: *nodes, Seed: 6}
+			result = h.Life(l.Rows, l.Cols, l.Generations, l.AliveAtInit)
+		case "fft":
+			f := apps.FFT{N: dflt(*size, 128), Threads: *nodes, Seed: 3}
+			result = h.FFT(f.N, f.Sample)
+		case "qsort":
+			q := apps.QSort{N: dflt(*size, 512), Threads: *nodes, Seed: 4}
+			result = h.QSort(q.N, q.Value)
+		case "tsp":
+			t := apps.TSP{Cities: dflt(*size, 8), Threads: *nodes, Seed: 5}
+			result = h.TSP(t.Cities, 3, t.Dist)
+		default:
+			fail("unknown app " + *app)
+		}
+		fmt.Printf("app=%s system=mp nodes=%d result=%v\n", *app, *nodes, result)
+		fmt.Printf("messages=%d bytes=%d\n", h.Messages(), h.Bytes())
+		return
+	}
+
+	var sys api.System
+	switch *system {
+	case "munin":
+		s, err := core.New(core.Config{Nodes: *nodes, Cost: cost})
+		if err != nil {
+			fail(err.Error())
+		}
+		sys = s
+	case "ivy":
+		s, err := ivy.New(ivy.Config{Nodes: *nodes, PageSize: *page, Cost: cost})
+		if err != nil {
+			fail(err.Error())
+		}
+		sys = s
+	default:
+		fail("unknown system " + *system)
+	}
+	defer sys.Close()
+
+	var result any
+	switch *app {
+	case "matmul":
+		result = apps.MatMul{N: dflt(*size, 32), Threads: *nodes, Seed: 1}.Run(sys)
+	case "gauss":
+		result = apps.Gauss{N: dflt(*size, 24), Threads: *nodes, Seed: 2}.Run(sys)
+	case "fft":
+		result = apps.FFT{N: dflt(*size, 128), Threads: *nodes, Seed: 3}.Run(sys)
+	case "qsort":
+		result = apps.QSort{N: dflt(*size, 512), Threads: *nodes, Seed: 4}.Run(sys)
+	case "tsp":
+		result = apps.TSP{Cities: dflt(*size, 8), Threads: *nodes, Seed: 5}.Run(sys)
+	case "life":
+		result = apps.Life{Rows: dflt(*size, 32), Cols: 24, Generations: 6, Threads: *nodes, Seed: 6}.Run(sys)
+	default:
+		fail("unknown app " + *app)
+	}
+	fmt.Printf("app=%s system=%s nodes=%d result=%v\n", *app, *system, *nodes, result)
+	fmt.Printf("messages=%d bytes=%d\n", sys.Messages(), sys.Bytes())
+}
+
+func dflt(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(2)
+}

@@ -1,0 +1,59 @@
+// Command munin-study reruns the paper's Section 2 sharing study: it
+// traces every shared-memory access the six study programs make and
+// classifies each object into the paper's access-pattern categories.
+//
+// Usage:
+//
+//	munin-study [-nodes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"munin/internal/api"
+	"munin/internal/apps"
+	"munin/internal/core"
+	"munin/internal/study"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of simulated processors")
+	flag.Parse()
+
+	type prog struct {
+		name string
+		run  func(sys api.System)
+	}
+	progs := []prog{
+		{"matmul", func(s api.System) { apps.MatMul{N: 32, Threads: *nodes, Seed: 1}.Run(s) }},
+		{"gauss", func(s api.System) { apps.Gauss{N: 24, Threads: *nodes, Seed: 2}.Run(s) }},
+		{"fft", func(s api.System) { apps.FFT{N: 128, Threads: *nodes, Seed: 3}.Run(s) }},
+		{"qsort", func(s api.System) { apps.QSort{N: 512, Threads: *nodes, Seed: 4}.Run(s) }},
+		{"tsp", func(s api.System) { apps.TSP{Cities: 8, Threads: *nodes, Seed: 5}.Run(s) }},
+		{"life", func(s api.System) { apps.Life{Rows: 32, Cols: 24, Generations: 6, Threads: *nodes, Seed: 6}.Run(s) }},
+	}
+
+	for _, p := range progs {
+		inner, err := core.New(core.Config{Nodes: *nodes})
+		if err != nil {
+			panic(err)
+		}
+		tr := study.NewTracer(inner)
+		p.run(tr)
+		rep := tr.Classify(p.name)
+		tr.Close()
+
+		fmt.Println(rep.Table())
+		fmt.Printf("steady-state read fraction: %.1f%%   general-rw share: %.2f%%   sync/data gap: %.1fx\n\n",
+			100*rep.ReadFraction(), 100*rep.GeneralRWShare(),
+			safeRatio(rep.MeanSyncGap, rep.MeanDataGap))
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

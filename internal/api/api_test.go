@@ -1,0 +1,58 @@
+package api_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"munin/internal/api"
+	"munin/internal/core"
+	"munin/internal/protocol"
+)
+
+// The typed helpers are exercised against a live 1-node system so the
+// encode/decode pairing is validated through the real access path.
+func TestTypedHelpersRoundTrip(t *testing.T) {
+	s, err := core.New(core.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.Alloc("vals", 64, protocol.Conventional, protocol.DefaultOptions(), nil)
+
+	f := func(u uint64, i int64, fl float64, u32 uint32) bool {
+		if math.IsNaN(fl) {
+			fl = 0 // NaN != NaN; use a representative value
+		}
+		ok := true
+		s.Run(1, func(c api.Ctx) {
+			api.WriteU64(c, r, 0, u)
+			api.WriteI64(c, r, 8, i)
+			api.WriteF64(c, r, 16, fl)
+			api.WriteU32(c, r, 24, u32)
+			ok = api.ReadU64(c, r, 0) == u &&
+				api.ReadI64(c, r, 8) == i &&
+				api.ReadF64(c, r, 16) == fl &&
+				api.ReadU32(c, r, 24) == u32
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelpersPreserveNaNBits(t *testing.T) {
+	s, err := core.New(core.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := s.Alloc("nan", 8, protocol.Conventional, protocol.DefaultOptions(), nil)
+	s.Run(1, func(c api.Ctx) {
+		api.WriteF64(c, r, 0, math.NaN())
+		if !math.IsNaN(api.ReadF64(c, r, 0)) {
+			t.Error("NaN not preserved")
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package apps
+
+import (
+	"testing"
+
+	"munin/internal/api"
+	"munin/internal/core"
+	"munin/internal/ivy"
+)
+
+// eachSystem runs the test body over a fresh Munin and a fresh Ivy
+// system, verifying the same application code is correct on both.
+func eachSystem(t *testing.T, nodes int, body func(t *testing.T, sys api.System)) {
+	t.Helper()
+	t.Run("munin", func(t *testing.T) {
+		s, err := core.New(core.Config{Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		body(t, s)
+	})
+	t.Run("ivy", func(t *testing.T) {
+		s, err := ivy.New(ivy.Config{Nodes: nodes, PageSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		body(t, s)
+	})
+}
+
+func TestMatMulMatchesSequential(t *testing.T) {
+	m := MatMul{N: 24, Threads: 6, Seed: 1}
+	want := m.Sequential()
+	eachSystem(t, 3, func(t *testing.T, sys api.System) {
+		if got := m.Run(sys); !almostEq(got, want) {
+			t.Fatalf("checksum = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestMatMulSingleThread(t *testing.T) {
+	m := MatMul{N: 8, Threads: 1, Seed: 9}
+	eachSystem(t, 1, func(t *testing.T, sys api.System) {
+		if got := m.Run(sys); !almostEq(got, m.Sequential()) {
+			t.Fatalf("checksum = %v, want %v", got, m.Sequential())
+		}
+	})
+}
+
+func TestGaussMatchesSequential(t *testing.T) {
+	g := Gauss{N: 20, Threads: 4, Seed: 2}
+	want := g.Sequential()
+	eachSystem(t, 4, func(t *testing.T, sys api.System) {
+		if got := g.Run(sys); !almostEq(got, want) {
+			t.Fatalf("checksum = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestFFTMatchesSequential(t *testing.T) {
+	f := FFT{N: 64, Threads: 4, Seed: 3}
+	want := f.Sequential()
+	eachSystem(t, 4, func(t *testing.T, sys api.System) {
+		if got := f.Run(sys); !almostEq(got, want) {
+			t.Fatalf("checksum = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestQSortMatchesSequential(t *testing.T) {
+	q := QSort{N: 400, Threads: 4, Seed: 4, Threshold: 32}
+	want := q.Sequential()
+	eachSystem(t, 4, func(t *testing.T, sys api.System) {
+		if got := q.Run(sys); got != want {
+			t.Fatalf("checksum = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestTSPFindsOptimalTour(t *testing.T) {
+	p := TSP{Cities: 8, Threads: 4, Seed: 5}
+	want := p.Sequential()
+	eachSystem(t, 4, func(t *testing.T, sys api.System) {
+		if got := p.Run(sys); got != want {
+			t.Fatalf("best tour = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestLifeMatchesSequential(t *testing.T) {
+	l := Life{Rows: 24, Cols: 16, Generations: 4, Threads: 4, Seed: 6}
+	want := l.Sequential()
+	eachSystem(t, 4, func(t *testing.T, sys api.System) {
+		if got := l.Run(sys); got != want {
+			t.Fatalf("live cells = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestLifeMoreGenerationsStillAgrees(t *testing.T) {
+	// Longer run shakes out parity/double-buffering bugs.
+	l := Life{Rows: 18, Cols: 12, Generations: 9, Threads: 3, Seed: 11}
+	want := l.Sequential()
+	eachSystem(t, 3, func(t *testing.T, sys api.System) {
+		if got := l.Run(sys); got != want {
+			t.Fatalf("live cells = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestMuninBeatsIvyOnWriteSharedApps(t *testing.T) {
+	// The headline qualitative claim (experiment E1): on write-shared
+	// numeric workloads Munin's type-specific protocols move fewer
+	// messages than Ivy's one-size-fits-all strict coherence.
+	g := Gauss{N: 16, Threads: 4, Seed: 7}
+	var muninMsgs, ivyMsgs int64
+
+	ms, err := core.New(core.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(ms)
+	muninMsgs = ms.Messages()
+	ms.Close()
+
+	is, err := ivy.New(ivy.Config{Nodes: 4, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(is)
+	ivyMsgs = is.Messages()
+	is.Close()
+
+	if muninMsgs >= ivyMsgs {
+		t.Fatalf("munin (%d msgs) not cheaper than ivy (%d msgs) on gauss", muninMsgs, ivyMsgs)
+	}
+}
+
+func TestPartitionHelper(t *testing.T) {
+	covered := 0
+	prev := 0
+	for id := 0; id < 5; id++ {
+		lo, hi := partition(17, 5, id)
+		if lo != prev {
+			t.Fatalf("gap at %d", id)
+		}
+		covered += hi - lo
+		prev = hi
+	}
+	if covered != 17 || prev != 17 {
+		t.Fatalf("covered %d", covered)
+	}
+}
+
+func TestAppStringers(t *testing.T) {
+	for _, s := range []string{
+		MatMul{N: 1, Threads: 1}.String(),
+		Gauss{N: 1, Threads: 1}.String(),
+		FFT{N: 2, Threads: 1}.String(),
+		QSort{N: 1, Threads: 1}.String(),
+		TSP{Cities: 3, Threads: 1}.String(),
+		Life{Rows: 1, Cols: 1, Threads: 1}.String(),
+	} {
+		if s == "" {
+			t.Fatal("empty stringer")
+		}
+	}
+}

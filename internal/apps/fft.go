@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"munin/internal/api"
+	"munin/internal/protocol"
+)
+
+// FFT is an iterative radix-2 Cooley-Tukey transform over N complex
+// points (N a power of two). The signal is one write-many object; each
+// stage's butterflies are partitioned by group so concurrent writes are
+// disjoint, with a barrier between stages — the paper's canonical
+// predictable-access numeric workload.
+type FFT struct {
+	N       int // number of complex points, power of two
+	Threads int
+	Seed    int64
+}
+
+func (f FFT) Sample(i int) complex128 {
+	re := math.Sin(2*math.Pi*float64(i)/float64(f.N) + float64(f.Seed))
+	im := 0.5 * math.Cos(6*math.Pi*float64(i)/float64(f.N))
+	return complex(re, im)
+}
+
+// initBytes writes the bit-reversed input signal (re, im interleaved).
+func (f FFT) initBytes() []byte {
+	n := f.N
+	b := make([]byte, n*16)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		r := reverseBits(i, bits)
+		v := f.Sample(i)
+		binary.BigEndian.PutUint64(b[r*16:], floatBits(real(v)))
+		binary.BigEndian.PutUint64(b[r*16+8:], floatBits(imag(v)))
+	}
+	return b
+}
+
+func reverseBits(x, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+// Run executes the FFT on sys and returns the checksum (sum of
+// magnitudes) of the transformed signal.
+func (f FFT) Run(sys api.System) float64 {
+	n := f.N
+	if n&(n-1) != 0 {
+		panic("fft: N must be a power of two")
+	}
+	sig := sys.Alloc("fft.signal", n*16, protocol.WriteMany, protocol.DefaultOptions(), f.initBytes())
+	bar := sys.NewBarrier()
+
+	sys.Run(f.Threads, func(c api.Ctx) {
+		T := c.NThreads()
+		id := c.ThreadID()
+		buf := make([]byte, 16)
+		readC := func(i int) complex128 {
+			c.Read(sig, i*16, buf)
+			return complex(floatFrom(binary.BigEndian.Uint64(buf)),
+				floatFrom(binary.BigEndian.Uint64(buf[8:])))
+		}
+		writeC := func(i int, v complex128) {
+			binary.BigEndian.PutUint64(buf, floatBits(real(v)))
+			binary.BigEndian.PutUint64(buf[8:], floatBits(imag(v)))
+			c.Write(sig, i*16, buf)
+		}
+		for ln := 2; ln <= n; ln <<= 1 {
+			ang := -2 * math.Pi / float64(ln)
+			wl := complex(math.Cos(ang), math.Sin(ang))
+			groups := n / ln
+			// Cyclic group assignment: disjoint writes per thread.
+			for g := id; g < groups; g += T {
+				base := g * ln
+				w := complex(1, 0)
+				for j := 0; j < ln/2; j++ {
+					u := readC(base + j)
+					v := readC(base+j+ln/2) * w
+					writeC(base+j, u+v)
+					writeC(base+j+ln/2, u-v)
+					w *= wl
+				}
+			}
+			c.Barrier(bar, T)
+		}
+	})
+
+	var sum float64
+	sys.Run(1, func(c api.Ctx) {
+		buf := make([]byte, 16)
+		for i := 0; i < n; i++ {
+			c.Read(sig, i*16, buf)
+			re := floatFrom(binary.BigEndian.Uint64(buf))
+			im := floatFrom(binary.BigEndian.Uint64(buf[8:]))
+			sum += math.Hypot(re, im)
+		}
+	})
+	return sum
+}
+
+// Sequential computes the reference checksum with a plain in-memory FFT
+// of the same shape.
+func (f FFT) Sequential() float64 {
+	n := f.N
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	data := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		data[reverseBits(i, bits)] = f.Sample(i)
+	}
+	for ln := 2; ln <= n; ln <<= 1 {
+		ang := -2 * math.Pi / float64(ln)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for base := 0; base < n; base += ln {
+			w := complex(1, 0)
+			for j := 0; j < ln/2; j++ {
+				u := data[base+j]
+				v := data[base+j+ln/2] * w
+				data[base+j] = u + v
+				data[base+j+ln/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range data {
+		sum += math.Hypot(real(v), imag(v))
+	}
+	return sum
+}
+
+func (f FFT) String() string { return fmt.Sprintf("fft(N=%d,T=%d)", f.N, f.Threads) }

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"munin/internal/api"
+	"munin/internal/protocol"
+)
+
+// Gauss is Gaussian elimination (forward elimination) on a diagonally
+// dominant N×N system — one of the paper's "well understood numeric
+// problems that … access shared memory in predictable patterns". The
+// matrix is a write-many object: in each step every thread updates its
+// own rows (independent portions of the same object), with one barrier
+// per pivot step. Delayed updates combine each thread's row updates for
+// a step into a single diff.
+type Gauss struct {
+	N       int
+	Threads int
+	Seed    int64
+}
+
+func (g Gauss) Elem(i, j int) float64 {
+	v := float64((int64(i)*37+int64(j)*23+g.Seed)%9-4) / 2
+	if i == j {
+		v += float64(4 * g.N) // diagonal dominance: stable without pivoting
+	}
+	return v
+}
+
+func (g Gauss) initBytes() []byte {
+	n := g.N
+	b := make([]byte, n*n*8)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			binary.BigEndian.PutUint64(b[(i*n+j)*8:], floatBits(g.Elem(i, j)))
+		}
+	}
+	return b
+}
+
+// Run executes forward elimination on sys and returns the checksum of
+// the resulting upper-triangular matrix (sum of diagonal products is
+// too unstable; we sum all entries).
+func (g Gauss) Run(sys api.System) float64 {
+	n := g.N
+	mat := sys.Alloc("gauss.M", n*n*8, protocol.WriteMany, protocol.DefaultOptions(), g.initBytes())
+	bar := sys.NewBarrier()
+
+	sys.Run(g.Threads, func(c api.Ctx) {
+		T := c.NThreads()
+		id := c.ThreadID()
+		rowBuf := make([]byte, n*8)
+		pivBuf := make([]byte, n*8)
+		for k := 0; k < n-1; k++ {
+			// The owner of row k has flushed it at the previous
+			// barrier; every copy has been refreshed by the home.
+			c.Read(mat, k*n*8, pivBuf)
+			piv := make([]float64, n)
+			for j := range piv {
+				piv[j] = floatFrom(binary.BigEndian.Uint64(pivBuf[j*8:]))
+			}
+			// Cyclic row distribution: thread id owns rows r ≡ id (mod T).
+			for r := k + 1; r < n; r++ {
+				if r%T != id {
+					continue
+				}
+				c.Read(mat, r*n*8, rowBuf)
+				row := make([]float64, n)
+				for j := range row {
+					row[j] = floatFrom(binary.BigEndian.Uint64(rowBuf[j*8:]))
+				}
+				factor := row[k] / piv[k]
+				row[k] = 0
+				for j := k + 1; j < n; j++ {
+					row[j] -= factor * piv[j]
+				}
+				for j := range row {
+					binary.BigEndian.PutUint64(rowBuf[j*8:], floatBits(row[j]))
+				}
+				c.Write(mat, r*n*8, rowBuf)
+			}
+			c.Barrier(bar, T) // flushes this step's row updates
+		}
+	})
+
+	return checksumMatrix(sys, mat, n)
+}
+
+// Sequential computes the reference checksum.
+func (g Gauss) Sequential() float64 {
+	n := g.N
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = g.Elem(i, j)
+		}
+	}
+	for k := 0; k < n-1; k++ {
+		for r := k + 1; r < n; r++ {
+			factor := m[r*n+k] / m[k*n+k]
+			m[r*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				m[r*n+j] -= factor * m[k*n+j]
+			}
+		}
+	}
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func (g Gauss) String() string { return fmt.Sprintf("gauss(N=%d,T=%d)", g.N, g.Threads) }

@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"munin/internal/api"
+	"munin/internal/core"
+	"munin/internal/protocol"
+	"sync"
+	"testing"
+)
+
+func TestGaussStepwiseMultiThreadPerNode(t *testing.T) {
+	g := Gauss{N: 18, Threads: 4, Seed: 8}
+	n := g.N
+	ref := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ref[i*n+j] = g.Elem(i, j)
+		}
+	}
+	refAt := make([][]float64, n)
+	for k := 0; k < n-1; k++ {
+		refAt[k] = append([]float64(nil), ref...)
+		for r := k + 1; r < n; r++ {
+			f := ref[r*n+k] / ref[k*n+k]
+			ref[r*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				ref[r*n+j] -= f * ref[k*n+j]
+			}
+		}
+	}
+	for iter := 0; iter < 10; iter++ {
+		s, _ := core.New(core.Config{Nodes: 2})
+		mat := s.Alloc("gauss.M", n*n*8, protocol.WriteMany, protocol.DefaultOptions(), g.initBytes())
+		bar := s.NewBarrier()
+		var mu sync.Mutex
+		var firstErr string
+		rec := func(m string) {
+			mu.Lock()
+			if firstErr == "" {
+				firstErr = m
+			}
+			mu.Unlock()
+		}
+		s.Run(4, func(c api.Ctx) {
+			T, id := c.NThreads(), c.ThreadID()
+			rowBuf := make([]byte, n*8)
+			pivBuf := make([]byte, n*8)
+			for k := 0; k < n-1; k++ {
+				c.Read(mat, k*n*8, pivBuf)
+				piv := make([]float64, n)
+				for j := range piv {
+					piv[j] = floatFrom(binary.BigEndian.Uint64(pivBuf[j*8:]))
+				}
+				for j := range piv {
+					if !almostEq(piv[j], refAt[k][k*n+j]) {
+						rec(fmt.Sprintf("iter %d step %d thread %d (node %d): pivot[%d][%d]=%v want %v (owner thread %d node %d)",
+							iter, k, id, c.Node(), k, j, piv[j], refAt[k][k*n+j], k%T, (k%T)%2))
+						break
+					}
+				}
+				for r := k + 1; r < n; r++ {
+					if r%T != id {
+						continue
+					}
+					c.Read(mat, r*n*8, rowBuf)
+					row := make([]float64, n)
+					for j := range row {
+						row[j] = floatFrom(binary.BigEndian.Uint64(rowBuf[j*8:]))
+					}
+					for j := range row {
+						if !almostEq(row[j], refAt[k][r*n+j]) {
+							rec(fmt.Sprintf("iter %d step %d thread %d (node %d): own row %d col %d =%v want %v",
+								iter, k, id, c.Node(), r, j, row[j], refAt[k][r*n+j]))
+							break
+						}
+					}
+					f := row[k] / piv[k]
+					row[k] = 0
+					for j := k + 1; j < n; j++ {
+						row[j] -= f * piv[j]
+					}
+					for j := range row {
+						binary.BigEndian.PutUint64(rowBuf[j*8:], floatBits(row[j]))
+					}
+					c.Write(mat, r*n*8, rowBuf)
+				}
+				c.Barrier(bar, T)
+			}
+		})
+		s.Close()
+		if firstErr != "" {
+			t.Fatal(firstErr)
+		}
+	}
+}
+
+func TestGaussCounterProbe(t *testing.T) {
+	g := Gauss{N: 18, Threads: 4, Seed: 8}
+	want := g.Sequential()
+	for iter := 0; iter < 12; iter++ {
+		s, _ := core.New(core.Config{Nodes: 2})
+		got := g.Run(s)
+		bad := !almostEq(got, want)
+		if bad {
+			for n := 0; n < 2; n++ {
+				c := s.NodeCounters(n)
+				t.Logf("iter %d FAIL node %d: gap=%d fault.read=%d fetch.retry=%d apply=%d diff.sent=%d race=%d",
+					iter, n, c["apply.gap"], c["fault.read"], c["fetch.retry"], c["apply.received"], c["diff.sent"], c["race.detected"])
+			}
+			s.Close()
+			return
+		}
+		s.Close()
+	}
+	t.Log("no failure in 12 iters")
+}

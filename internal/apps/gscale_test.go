@@ -1,0 +1,25 @@
+package apps
+
+import (
+	"munin/internal/core"
+	"testing"
+)
+
+func TestGaussShapeMatrix(t *testing.T) {
+	for _, tc := range []struct{ nodes, threads int }{
+		{2, 2}, {2, 4}, {2, 6}, {3, 6}, {6, 6}, {1, 6},
+	} {
+		g := Gauss{N: 18, Threads: tc.threads, Seed: 8}
+		want := g.Sequential()
+		fails := 0
+		for i := 0; i < 12; i++ {
+			s, _ := core.New(core.Config{Nodes: tc.nodes})
+			got := g.Run(s)
+			s.Close()
+			if !almostEq(got, want) {
+				fails++
+			}
+		}
+		t.Logf("nodes=%d threads=%d fails=%d/12", tc.nodes, tc.threads, fails)
+	}
+}

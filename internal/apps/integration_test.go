@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"testing"
+
+	"munin/internal/core"
+	"munin/internal/threads"
+)
+
+// TestAppsOverRealTCP runs representative applications over the real
+// loopback TCP transport: every coherence message crosses the OS
+// network stack.
+func TestAppsOverRealTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration in short mode")
+	}
+	s, err := core.New(core.Config{Nodes: 3, Transport: "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m := MatMul{N: 12, Threads: 3, Seed: 1}
+	if got := m.Run(s); !almostEq(got, m.Sequential()) {
+		t.Fatalf("matmul over tcp = %v, want %v", got, m.Sequential())
+	}
+
+	l := Life{Rows: 12, Cols: 8, Generations: 3, Threads: 3, Seed: 6}
+	if got := l.Run(s); got != l.Sequential() {
+		t.Fatalf("life over tcp = %d, want %d", got, l.Sequential())
+	}
+}
+
+// TestAppsWithBlockedPlacement verifies correctness is placement-
+// independent (threads packed onto nodes instead of round robin).
+func TestAppsWithBlockedPlacement(t *testing.T) {
+	s, err := core.New(core.Config{Nodes: 2, Placement: threads.Blocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := Gauss{N: 16, Threads: 4, Seed: 2}
+	if got := g.Run(s); !almostEq(got, g.Sequential()) {
+		t.Fatalf("gauss blocked placement = %v, want %v", got, g.Sequential())
+	}
+}
+
+// TestAppsScaleWithNodes runs gauss over 1..6 nodes: the answer must
+// be identical regardless of the machine shape.
+func TestAppsScaleWithNodes(t *testing.T) {
+	g := Gauss{N: 18, Threads: 6, Seed: 8}
+	want := g.Sequential()
+	for _, nodes := range []int{1, 2, 5, 6} {
+		s, err := core.New(core.Config{Nodes: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.Run(s); !almostEq(got, want) {
+			t.Fatalf("nodes=%d: %v, want %v", nodes, got, want)
+		}
+		s.Close()
+	}
+}
+
+// TestQSortManyThreadsFewNodes oversubscribes nodes with threads: the
+// work queue must still terminate and sort correctly.
+func TestQSortManyThreadsFewNodes(t *testing.T) {
+	s, err := core.New(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	q := QSort{N: 300, Threads: 8, Seed: 4, Threshold: 16}
+	if got := q.Run(s); got != q.Sequential() {
+		t.Fatalf("qsort oversubscribed = %d, want %d", got, q.Sequential())
+	}
+}

@@ -1,0 +1,62 @@
+package apps
+
+import (
+	"encoding/binary"
+	"munin/internal/api"
+	"munin/internal/ivy"
+	"munin/internal/protocol"
+	"sync"
+	"testing"
+)
+
+// Same gauss over ivy but with host-level WaitGroup barriers.
+func TestGaussDebugIvyHostBarrier(t *testing.T) {
+	g := Gauss{N: 20, Threads: 4, Seed: 2}
+	n := g.N
+	want := g.Sequential()
+	s, _ := ivy.New(ivy.Config{Nodes: 4, PageSize: 256})
+	defer s.Close()
+	mat := s.Alloc("gauss.M", n*n*8, protocol.WriteMany, protocol.DefaultOptions(), g.initBytes())
+	phases := make([]*sync.WaitGroup, n)
+	for i := range phases {
+		phases[i] = &sync.WaitGroup{}
+		phases[i].Add(4)
+	}
+	s.Run(4, func(c api.Ctx) {
+		T, id := c.NThreads(), c.ThreadID()
+		rowBuf := make([]byte, n*8)
+		pivBuf := make([]byte, n*8)
+		for k := 0; k < n-1; k++ {
+			c.Read(mat, k*n*8, pivBuf)
+			piv := make([]float64, n)
+			for j := range piv {
+				piv[j] = floatFrom(binary.BigEndian.Uint64(pivBuf[j*8:]))
+			}
+			for r := k + 1; r < n; r++ {
+				if r%T != id {
+					continue
+				}
+				c.Read(mat, r*n*8, rowBuf)
+				row := make([]float64, n)
+				for j := range row {
+					row[j] = floatFrom(binary.BigEndian.Uint64(rowBuf[j*8:]))
+				}
+				f := row[k] / piv[k]
+				row[k] = 0
+				for j := k + 1; j < n; j++ {
+					row[j] -= f * piv[j]
+				}
+				for j := range row {
+					binary.BigEndian.PutUint64(rowBuf[j*8:], floatBits(row[j]))
+				}
+				c.Write(mat, r*n*8, rowBuf)
+			}
+			phases[k].Done()
+			phases[k].Wait()
+		}
+	})
+	got := checksumMatrix(s, mat, n)
+	if !almostEq(got, want) {
+		t.Fatalf("host-barrier ivy gauss: got %v want %v", got, want)
+	}
+}

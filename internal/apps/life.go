@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"fmt"
+
+	"munin/internal/api"
+	"munin/internal/protocol"
+)
+
+// Life is the paper's "representative nearest-neighbors problem in
+// which data is shared amongst neighboring processes": Conway's game
+// of life on an R×C grid with dead borders, row bands per thread.
+// Interior band state is private (only its owner touches it); the two
+// boundary rows of each band are producer-consumer objects — produced
+// by the band's owner, consumed by the adjacent band — so each
+// generation's boundary exchange is an eager push rather than a
+// demand fault. "Communication between processors only occurs at
+// submatrix boundaries."
+type Life struct {
+	Rows, Cols  int
+	Generations int
+	Threads     int
+	Seed        int64
+}
+
+func (l Life) AliveAtInit(r, c int) bool {
+	x := uint64(r)*2654435761 + uint64(c)*40503 + uint64(l.Seed)
+	x ^= x >> 16
+	x *= 0x45d9f3b
+	return x%100 < 35 // ~35% initial density
+}
+
+// Run plays the game on sys and returns the final live-cell count.
+func (l Life) Run(sys api.System) int {
+	R, C, T := l.Rows, l.Cols, l.Threads
+	if T > R {
+		panic("life: more threads than rows")
+	}
+
+	// Per-thread regions: a private band plus producer-consumer
+	// boundary rows (top and bottom of the band, as the neighbors see
+	// them). Boundaries are double-buffered by generation parity so a
+	// neighbor one barrier ahead cannot overwrite rows still being
+	// read — the same discipline a hand-coded nearest-neighbors code
+	// uses for its halo exchange.
+	bands := make([]api.RegionID, T)
+	tops := make([]api.RegionID, 2*T) // tops[2*t+parity]
+	bots := make([]api.RegionID, 2*T)
+	for t := 0; t < T; t++ {
+		lo, hi := partition(R, T, t)
+		rows := hi - lo
+		init := make([]byte, rows*C)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < C; c++ {
+				if l.AliveAtInit(lo+r, c) {
+					init[r*C+c] = 1
+				}
+			}
+		}
+		bands[t] = sys.Alloc(fmt.Sprintf("life.band.%d", t), rows*C,
+			protocol.Private, protocol.DefaultOptions(), init)
+		for p := 0; p < 2; p++ {
+			tops[2*t+p] = sys.Alloc(fmt.Sprintf("life.top.%d.%d", t, p), C,
+				protocol.ProducerConsumer, protocol.DefaultOptions(), init[:C])
+			bots[2*t+p] = sys.Alloc(fmt.Sprintf("life.bot.%d.%d", t, p), C,
+				protocol.ProducerConsumer, protocol.DefaultOptions(), init[(rows-1)*C:])
+		}
+	}
+	bar := sys.NewBarrier()
+
+	sys.Run(T, func(c api.Ctx) {
+		id := c.ThreadID()
+		lo, hi := partition(R, T, id)
+		rows := hi - lo
+
+		cur := make([]byte, rows*C)
+		c.Read(bands[id], 0, cur)
+		next := make([]byte, rows*C)
+		above := make([]byte, C) // neighbor's bottom row (or dead)
+		below := make([]byte, C) // neighbor's top row (or dead)
+
+		for g := 0; g < l.Generations; g++ {
+			// Fetch neighbor boundaries for the current state (parity
+			// g%2). After the first generation these were pushed
+			// eagerly by the producers; the read is local.
+			par := g % 2
+			if id > 0 {
+				c.Read(bots[2*(id-1)+par], 0, above)
+			}
+			if id < T-1 {
+				c.Read(tops[2*(id+1)+par], 0, below)
+			}
+			rowAt := func(r int) []byte {
+				switch {
+				case r < 0:
+					if id > 0 {
+						return above
+					}
+					return nil
+				case r >= rows:
+					if id < T-1 {
+						return below
+					}
+					return nil
+				default:
+					return cur[r*C : (r+1)*C]
+				}
+			}
+			for r := 0; r < rows; r++ {
+				up, mid, down := rowAt(r-1), rowAt(r), rowAt(r+1)
+				for x := 0; x < C; x++ {
+					n := 0
+					for dx := -1; dx <= 1; dx++ {
+						xx := x + dx
+						if xx < 0 || xx >= C {
+							continue
+						}
+						if up != nil && up[xx] == 1 {
+							n++
+						}
+						if down != nil && down[xx] == 1 {
+							n++
+						}
+						if dx != 0 && mid[xx] == 1 {
+							n++
+						}
+					}
+					alive := mid[x] == 1
+					if alive && (n == 2 || n == 3) || !alive && n == 3 {
+						next[r*C+x] = 1
+					} else {
+						next[r*C+x] = 0
+					}
+				}
+			}
+			cur, next = next, cur
+			// Publish the new state (parity (g+1)%2): private band
+			// locally, boundary rows to the neighbors — the eager
+			// push happens when the barrier flushes the queue.
+			c.Write(bands[id], 0, cur)
+			c.Write(tops[2*id+(g+1)%2], 0, cur[:C])
+			c.Write(bots[2*id+(g+1)%2], 0, cur[(rows-1)*C:])
+			c.Barrier(bar, T)
+		}
+	})
+
+	// Count live cells: bands are private, so read each from a thread
+	// team of the same shape (each owner counts its own band).
+	counts := make([]int, T)
+	sys.Run(T, func(c api.Ctx) {
+		id := c.ThreadID()
+		lo, hi := partition(R, T, id)
+		band := make([]byte, (hi-lo)*C)
+		c.Read(bands[id], 0, band)
+		n := 0
+		for _, v := range band {
+			if v == 1 {
+				n++
+			}
+		}
+		counts[id] = n
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// Sequential computes the reference final live-cell count.
+func (l Life) Sequential() int {
+	R, C := l.Rows, l.Cols
+	cur := make([]byte, R*C)
+	for r := 0; r < R; r++ {
+		for c := 0; c < C; c++ {
+			if l.AliveAtInit(r, c) {
+				cur[r*C+c] = 1
+			}
+		}
+	}
+	next := make([]byte, R*C)
+	for g := 0; g < l.Generations; g++ {
+		for r := 0; r < R; r++ {
+			for c := 0; c < C; c++ {
+				n := 0
+				for dr := -1; dr <= 1; dr++ {
+					for dc := -1; dc <= 1; dc++ {
+						if dr == 0 && dc == 0 {
+							continue
+						}
+						rr, cc := r+dr, c+dc
+						if rr < 0 || rr >= R || cc < 0 || cc >= C {
+							continue
+						}
+						if cur[rr*C+cc] == 1 {
+							n++
+						}
+					}
+				}
+				alive := cur[r*C+c] == 1
+				if alive && (n == 2 || n == 3) || !alive && n == 3 {
+					next[r*C+c] = 1
+				} else {
+					next[r*C+c] = 0
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	total := 0
+	for _, v := range cur {
+		if v == 1 {
+			total++
+		}
+	}
+	return total
+}
+
+func (l Life) String() string {
+	return fmt.Sprintf("life(%dx%d,G=%d,T=%d)", l.Rows, l.Cols, l.Generations, l.Threads)
+}

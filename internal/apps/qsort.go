@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"munin/internal/api"
+	"munin/internal/protocol"
+)
+
+// QSort is the paper's "representative sorting problem that uses
+// divide-and-conquer to dynamically subdivide the problem": parallel
+// quicksort with a central work queue of ranges. The queue header is a
+// migratory object guarded by a lock — the textbook critical-section
+// access pattern §3.3.3 targets — so its bytes ride inside the lock
+// transfer messages. The array is write-many: workers write disjoint
+// ranges between synchronization points.
+type QSort struct {
+	N       int
+	Threads int
+	Seed    int64
+	// Threshold below which a range is sorted locally instead of
+	// being split further (default 64).
+	Threshold int
+}
+
+// queue object layout (all big-endian int64):
+//
+//	[0]  top        stack depth
+//	[8]  pending    ranges pushed but not yet fully sorted
+//	[16] pairs      (lo, hi) per entry, capacity qcap
+const qcap = 4096
+
+// Value returns the i-th input element (exported for the hand-coded
+// message-passing baseline, which generates the same input).
+func (q QSort) Value(i int) int64 { return qsortValue(i, q.Seed) }
+
+func qsortValue(i int, seed int64) int64 {
+	x := uint64(i)*2862933555777941757 + uint64(seed) + 3037000493
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return int64(x % 1_000_000)
+}
+
+// Run sorts the array on sys and returns a positional checksum of the
+// sorted array (catches both misordering and corruption).
+func (q QSort) Run(sys api.System) int64 {
+	n := q.N
+	threshold := q.Threshold
+	if threshold <= 0 {
+		threshold = 64
+	}
+	init := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(init[i*8:], uint64(qsortValue(i, q.Seed)))
+	}
+	arr := sys.Alloc("qsort.array", n*8, protocol.WriteMany, protocol.DefaultOptions(), init)
+
+	qlock := sys.NewLock()
+	qopts := protocol.DefaultOptions()
+	qopts.Lock = qlock
+	queue := sys.Alloc("qsort.queue", 16+qcap*16, protocol.Migratory, qopts, qsortQueueInit(n))
+
+	sys.Run(q.Threads, func(c api.Ctx) {
+		buf8 := make([]byte, 8)
+		readI := func(r api.RegionID, off int) int64 {
+			c.Read(r, off, buf8)
+			return int64(binary.BigEndian.Uint64(buf8))
+		}
+		writeI := func(r api.RegionID, off int, v int64) {
+			binary.BigEndian.PutUint64(buf8, uint64(v))
+			c.Write(r, off, buf8)
+		}
+		for {
+			// Pop a range (or detect completion) under the queue lock.
+			c.Acquire(qlock)
+			top := readI(queue, 0)
+			pending := readI(queue, 8)
+			var lo, hi int64
+			have := false
+			if top > 0 {
+				lo = readI(queue, int(16+(top-1)*16))
+				hi = readI(queue, int(16+(top-1)*16+8))
+				writeI(queue, 0, top-1)
+				have = true
+			}
+			c.Release(qlock)
+			if !have {
+				if pending == 0 {
+					return
+				}
+				time.Sleep(50 * time.Microsecond) // queue momentarily empty
+				continue
+			}
+
+			if hi-lo <= int64(threshold) {
+				// Sort the small range locally and write it back.
+				vals := readRange(c, arr, lo, hi)
+				sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+				writeRange(c, arr, lo, vals)
+				c.Acquire(qlock)
+				writeI(queue, 8, readI(queue, 8)-1)
+				c.Release(qlock) // flush makes the sorted bytes visible
+				continue
+			}
+
+			// Partition around the median-of-three pivot.
+			vals := readRange(c, arr, lo, hi)
+			pivot := medianOf3(vals[0], vals[len(vals)/2], vals[len(vals)-1])
+			i, j := 0, len(vals)-1
+			for i <= j {
+				for vals[i] < pivot {
+					i++
+				}
+				for vals[j] > pivot {
+					j--
+				}
+				if i <= j {
+					vals[i], vals[j] = vals[j], vals[i]
+					i++
+					j--
+				}
+			}
+			writeRange(c, arr, lo, vals)
+
+			// Push the two subranges; pending: -1 +2 = +1.
+			c.Acquire(qlock)
+			top = readI(queue, 0)
+			if top+2 > qcap {
+				panic("qsort: work queue overflow")
+			}
+			writeI(queue, int(16+top*16), lo)
+			writeI(queue, int(16+top*16+8), lo+int64(j)+1)
+			writeI(queue, int(16+(top+1)*16), lo+int64(i))
+			writeI(queue, int(16+(top+1)*16+8), hi)
+			writeI(queue, 0, top+2)
+			writeI(queue, 8, readI(queue, 8)+1)
+			c.Release(qlock)
+		}
+	})
+
+	// Positional checksum of the sorted array.
+	var sum int64
+	sys.Run(1, func(c api.Ctx) {
+		vals := readRange(c, arr, 0, int64(n))
+		for i, v := range vals {
+			sum += int64(i+1) * v
+		}
+	})
+	return sum
+}
+
+func qsortQueueInit(n int) []byte {
+	b := make([]byte, 16+qcap*16)
+	binary.BigEndian.PutUint64(b[0:], 1)  // top = 1
+	binary.BigEndian.PutUint64(b[8:], 1)  // pending = 1
+	binary.BigEndian.PutUint64(b[16:], 0) // range [0, n)
+	binary.BigEndian.PutUint64(b[24:], uint64(n))
+	return b
+}
+
+func readRange(c api.Ctx, arr api.RegionID, lo, hi int64) []int64 {
+	buf := make([]byte, (hi-lo)*8)
+	c.Read(arr, int(lo*8), buf)
+	vals := make([]int64, hi-lo)
+	for i := range vals {
+		vals[i] = int64(binary.BigEndian.Uint64(buf[i*8:]))
+	}
+	return vals
+}
+
+func writeRange(c api.Ctx, arr api.RegionID, lo int64, vals []int64) {
+	buf := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	c.Write(arr, int(lo*8), buf)
+}
+
+func medianOf3(a, b, c int64) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// Sequential computes the reference checksum.
+func (q QSort) Sequential() int64 {
+	vals := make([]int64, q.N)
+	for i := range vals {
+		vals[i] = qsortValue(i, q.Seed)
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	var sum int64
+	for i, v := range vals {
+		sum += int64(i+1) * v
+	}
+	return sum
+}
+
+func (q QSort) String() string { return fmt.Sprintf("qsort(N=%d,T=%d)", q.N, q.Threads) }

@@ -1,0 +1,259 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"munin/internal/api"
+	"munin/internal/protocol"
+)
+
+// TSP is the paper's "representative graph problem that uses central
+// work queues protected by locks": branch-and-bound traveling salesman.
+// The distance matrix is write-once; the work queue of partial tours
+// and the global best bound are migratory objects guarded by locks, so
+// both ride inside lock transfers. Workers expand partial tours up to
+// a depth cutoff, then solve the remainder exhaustively in private
+// memory, publishing improvements to the bound under its lock.
+type TSP struct {
+	Cities  int // ≤ 16
+	Threads int
+	Seed    int64
+	// Cutoff is the tree depth at which workers stop enqueueing and
+	// solve locally (default 3).
+	Cutoff int
+}
+
+// Dist returns the symmetric distance between two cities (exported for
+// the hand-coded message-passing baseline).
+func (t TSP) Dist(i, j int) int64 { return t.dist(i, j) }
+
+func (t TSP) dist(i, j int) int64 {
+	if i == j {
+		return 0
+	}
+	// Symmetric pseudo-random distances in [1, 100].
+	a, b := i, j
+	if a > b {
+		a, b = b, a
+	}
+	x := uint64(a)*7919 + uint64(b)*104729 + uint64(t.Seed)*31
+	x ^= x >> 13
+	x *= 0x2545f4914f6cdd1d
+	return int64(x%100) + 1
+}
+
+// Work-queue object layout (big-endian int64):
+//
+//	[0]  top
+//	[8]  pending
+//	[16] entries: each entry is cost, visitedMask, depth, path[16]
+const (
+	tspEntryWords = 3 + 16
+	tspQCap       = 2048
+)
+
+// Best-bound object layout: [0] best cost (int64).
+
+// Run solves the instance on sys and returns the optimal tour cost.
+func (t TSP) Run(sys api.System) int64 {
+	n := t.Cities
+	if n > 16 {
+		panic("tsp: at most 16 cities")
+	}
+	cutoff := t.Cutoff
+	if cutoff <= 0 {
+		cutoff = 3
+	}
+
+	// Distance matrix: write-once.
+	db := make([]byte, n*n*8)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			binary.BigEndian.PutUint64(db[(i*n+j)*8:], uint64(t.dist(i, j)))
+		}
+	}
+	distR := sys.Alloc("tsp.dist", n*n*8, protocol.WriteOnce, protocol.DefaultOptions(), db)
+
+	// Best bound: migratory under its own lock.
+	bl := sys.NewLock()
+	bopts := protocol.DefaultOptions()
+	bopts.Lock = bl
+	bestInit := make([]byte, 8)
+	binary.BigEndian.PutUint64(bestInit, uint64(1<<62))
+	bestR := sys.Alloc("tsp.best", 8, protocol.Migratory, bopts, bestInit)
+
+	// Work queue: migratory under the queue lock, seeded with the
+	// tour starting at city 0.
+	ql := sys.NewLock()
+	qopts := protocol.DefaultOptions()
+	qopts.Lock = ql
+	qinit := make([]byte, 16+tspQCap*tspEntryWords*8)
+	binary.BigEndian.PutUint64(qinit[0:], 1)
+	binary.BigEndian.PutUint64(qinit[8:], 1)
+	// entry 0: cost=0, visited={0}, depth=1, path[0]=0
+	binary.BigEndian.PutUint64(qinit[16:], 0)
+	binary.BigEndian.PutUint64(qinit[24:], 1)
+	binary.BigEndian.PutUint64(qinit[32:], 1)
+	queueR := sys.Alloc("tsp.queue", len(qinit), protocol.Migratory, qopts, qinit)
+
+	sys.Run(t.Threads, func(c api.Ctx) {
+		// Local copy of the distance matrix (write-once replica).
+		d := make([]int64, n*n)
+		buf := make([]byte, n*n*8)
+		c.Read(distR, 0, buf)
+		for i := range d {
+			d[i] = int64(binary.BigEndian.Uint64(buf[i*8:]))
+		}
+		b8 := make([]byte, 8)
+		readI := func(r api.RegionID, off int) int64 {
+			c.Read(r, off, b8)
+			return int64(binary.BigEndian.Uint64(b8))
+		}
+		writeI := func(r api.RegionID, off int, v int64) {
+			binary.BigEndian.PutUint64(b8, uint64(v))
+			c.Write(r, off, b8)
+		}
+		readBest := func() int64 {
+			c.Acquire(bl)
+			v := readI(bestR, 0)
+			c.Release(bl)
+			return v
+		}
+		publishBest := func(v int64) {
+			c.Acquire(bl)
+			if v < readI(bestR, 0) {
+				writeI(bestR, 0, v)
+			}
+			c.Release(bl)
+		}
+
+		var path [16]int
+		for {
+			// Pop one partial tour.
+			c.Acquire(ql)
+			top := readI(queueR, 0)
+			pending := readI(queueR, 8)
+			var cost, visited, depth int64
+			if top > 0 {
+				base := int(16 + (top-1)*tspEntryWords*8)
+				cost = readI(queueR, base)
+				visited = readI(queueR, base+8)
+				depth = readI(queueR, base+16)
+				for i := int64(0); i < depth; i++ {
+					path[i] = int(readI(queueR, base+24+int(i)*8))
+				}
+				writeI(queueR, 0, top-1)
+			}
+			c.Release(ql)
+			if top == 0 {
+				if pending == 0 {
+					return
+				}
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+
+			best := readBest()
+			if cost >= best {
+				// Pruned: this branch cannot improve the bound.
+				c.Acquire(ql)
+				writeI(queueR, 8, readI(queueR, 8)-1)
+				c.Release(ql)
+				continue
+			}
+
+			if int(depth) >= cutoff || int(depth) == n {
+				// Solve the remainder exhaustively in private memory.
+				if v := tspSolveLocal(n, d, path[:depth], visited, cost, best); v < best {
+					publishBest(v)
+				}
+				c.Acquire(ql)
+				writeI(queueR, 8, readI(queueR, 8)-1)
+				c.Release(ql)
+				continue
+			}
+
+			// Expand children onto the queue.
+			last := path[depth-1]
+			c.Acquire(ql)
+			topNow := readI(queueR, 0)
+			added := int64(0)
+			for next := 1; next < n; next++ {
+				if visited&(1<<next) != 0 {
+					continue
+				}
+				ncost := cost + d[last*n+next]
+				if ncost >= best {
+					continue
+				}
+				if topNow+added >= tspQCap {
+					panic("tsp: work queue overflow")
+				}
+				base := int(16 + (topNow+added)*tspEntryWords*8)
+				writeI(queueR, base, ncost)
+				writeI(queueR, base+8, visited|1<<next)
+				writeI(queueR, base+16, depth+1)
+				for i := int64(0); i < depth; i++ {
+					writeI(queueR, base+24+int(i)*8, int64(path[i]))
+				}
+				writeI(queueR, base+24+int(depth)*8, int64(next))
+				added++
+			}
+			writeI(queueR, 0, topNow+added)
+			writeI(queueR, 8, readI(queueR, 8)+added-1)
+			c.Release(ql)
+		}
+	})
+
+	var best int64
+	sys.Run(1, func(c api.Ctx) {
+		c.Acquire(bl)
+		b8 := make([]byte, 8)
+		c.Read(bestR, 0, b8)
+		best = int64(binary.BigEndian.Uint64(b8))
+		c.Release(bl)
+	})
+	return best
+}
+
+// tspSolveLocal exhaustively extends a partial tour in local memory and
+// returns the best complete-tour cost found below bound.
+func tspSolveLocal(n int, d []int64, path []int, visited, cost, bound int64) int64 {
+	if len(path) == n {
+		total := cost + d[path[n-1]*n+path[0]]
+		if total < bound {
+			return total
+		}
+		return bound
+	}
+	last := path[len(path)-1]
+	for next := 1; next < n; next++ {
+		if visited&(1<<next) != 0 {
+			continue
+		}
+		ncost := cost + d[last*n+next]
+		if ncost >= bound {
+			continue
+		}
+		bound = tspSolveLocal(n, d, append(path, next), visited|1<<next, ncost, bound)
+	}
+	return bound
+}
+
+// Sequential computes the optimal tour cost by exhaustive search.
+func (t TSP) Sequential() int64 {
+	n := t.Cities
+	d := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d[i*n+j] = t.dist(i, j)
+		}
+	}
+	path := make([]int, 1, n)
+	path[0] = 0
+	return tspSolveLocal(n, d, path, 1, 0, 1<<62)
+}
+
+func (t TSP) String() string { return fmt.Sprintf("tsp(C=%d,T=%d)", t.Cities, t.Threads) }

@@ -1,0 +1,25 @@
+package apps
+
+import "math"
+
+// partition splits [0, n) into nthreads contiguous chunks.
+func partition(n, nthreads, id int) (lo, hi int) {
+	per := n / nthreads
+	rem := n % nthreads
+	lo = id * per
+	if id < rem {
+		lo += id
+	} else {
+		lo += rem
+	}
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+func absf(f float64) float64     { return math.Abs(f) }
+func almostEq(a, b float64) bool { return absf(a-b) <= 1e-6*(1+absf(a)+absf(b)) }

@@ -1,0 +1,84 @@
+// Package cluster assembles the simulated distributed-memory machine: a
+// network plus one vkernel per node. It is the stand-in for the paper's
+// "Ethernet network of SUN workstations".
+package cluster
+
+import (
+	"fmt"
+
+	"munin/internal/msg"
+	"munin/internal/transport"
+	"munin/internal/vkernel"
+)
+
+// Config describes the machine to simulate.
+type Config struct {
+	// Nodes is the number of processors. Must be >= 1.
+	Nodes int
+	// Transport selects the substrate: "chan" (default, in-process with
+	// modeled costs) or "tcp" (real loopback sockets).
+	Transport string
+	// Cost is the network cost model; zero value means free/instant,
+	// which is appropriate for unit tests. Use
+	// transport.DefaultCostModel() for paper-like accounting.
+	Cost transport.CostModel
+}
+
+// Cluster is a running simulated machine.
+type Cluster struct {
+	net     transport.Network
+	kernels []*vkernel.Kernel
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
+	}
+	var net transport.Network
+	switch cfg.Transport {
+	case "", "chan":
+		net = transport.NewChanNetwork(cfg.Nodes, cfg.Cost)
+	case "tcp":
+		tn, err := transport.NewTCPNetwork(cfg.Nodes, cfg.Cost)
+		if err != nil {
+			return nil, err
+		}
+		net = tn
+	default:
+		return nil, fmt.Errorf("cluster: unknown transport %q", cfg.Transport)
+	}
+	c := &Cluster{net: net}
+	c.kernels = make([]*vkernel.Kernel, cfg.Nodes)
+	for i := range c.kernels {
+		c.kernels[i] = vkernel.New(net, msg.NodeID(i))
+	}
+	return c, nil
+}
+
+// Nodes returns the number of processors.
+func (c *Cluster) Nodes() int { return len(c.kernels) }
+
+// Kernel returns node n's vkernel.
+func (c *Cluster) Kernel(n msg.NodeID) *vkernel.Kernel { return c.kernels[n] }
+
+// Stats returns the network traffic accounting.
+func (c *Cluster) Stats() *transport.Stats { return c.net.Stats() }
+
+// Close shuts down the cluster and waits for all dispatchers to exit.
+func (c *Cluster) Close() {
+	for _, k := range c.kernels {
+		k.Close()
+	}
+	c.net.Close()
+	for _, k := range c.kernels {
+		k.Wait()
+	}
+}
+
+// HomeOf maps an object/lock identifier to its home node by simple
+// modular hashing — the static distribution the paper's prototype used
+// for directory and lock management.
+func HomeOf(id uint64, nodes int) msg.NodeID {
+	return msg.NodeID(id % uint64(nodes))
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+
+	"munin/internal/msg"
+	"munin/internal/vkernel"
+)
+
+func TestNewAndClose(t *testing.T) {
+	for _, tr := range []string{"", "chan", "tcp"} {
+		c, err := New(Config{Nodes: 3, Transport: tr})
+		if err != nil {
+			t.Fatalf("transport %q: %v", tr, err)
+		}
+		if c.Nodes() != 3 {
+			t.Fatalf("nodes = %d", c.Nodes())
+		}
+		c.Close()
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Fatal("0 nodes accepted")
+	}
+	if _, err := New(Config{Nodes: 2, Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}
+
+func TestKernelsCommunicate(t *testing.T) {
+	c, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Kernel(1).Handle(msg.KindPing, msg.KindPing, func(k *vkernel.Kernel, req *msg.Msg) {
+		k.Reply(req, []byte("pong"))
+	})
+	reply, err := c.Kernel(0).Call(1, msg.KindPing, nil)
+	if err != nil || string(reply.Payload) != "pong" {
+		t.Fatalf("call across cluster: %v %v", reply, err)
+	}
+}
+
+func TestHomeOf(t *testing.T) {
+	if HomeOf(0, 4) != 0 || HomeOf(5, 4) != 1 || HomeOf(7, 4) != 3 {
+		t.Fatal("HomeOf wrong")
+	}
+	// Home must always be a valid node.
+	for id := uint64(0); id < 100; id++ {
+		h := HomeOf(id, 3)
+		if h < 0 || h >= 3 {
+			t.Fatalf("HomeOf(%d,3) = %d", id, h)
+		}
+	}
+}
+
+func TestStatsAccessible(t *testing.T) {
+	c, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Stats() == nil {
+		t.Fatal("nil stats")
+	}
+	if err := c.Kernel(0).Send(1, msg.KindPing, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Messages() != 1 {
+		t.Fatalf("messages = %d", c.Stats().Messages())
+	}
+}

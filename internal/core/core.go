@@ -1,0 +1,260 @@
+// Package core assembles the Munin runtime: a simulated cluster with a
+// per-node Munin server (internal/protocol), the distributed lock
+// service (internal/dlock), and the Presto-like thread layer
+// (internal/threads), exposed through the DSM interface in internal/api.
+//
+// This is the system the paper describes in §3.1: software coherence
+// control over a message-passing substrate, with type-specific protocol
+// selection per object and delayed updates flushed at synchronization
+// points.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"munin/internal/api"
+	"munin/internal/cluster"
+	"munin/internal/dlock"
+	"munin/internal/duq"
+	"munin/internal/memory"
+	"munin/internal/msg"
+	"munin/internal/protocol"
+	"munin/internal/threads"
+	"munin/internal/transport"
+)
+
+// Config configures a Munin system.
+type Config struct {
+	// Nodes is the number of simulated processors (>= 1).
+	Nodes int
+	// Transport selects "chan" (default) or "tcp".
+	Transport string
+	// Cost is the network cost model (zero = free, fast for tests;
+	// transport.DefaultCostModel() for paper-like accounting).
+	Cost transport.CostModel
+	// Placement maps thread IDs to nodes; nil = round robin.
+	Placement threads.Placement
+}
+
+// System is a running Munin instance. It implements api.System.
+type System struct {
+	cfg   Config
+	clu   *cluster.Cluster
+	locks []*dlock.Service
+	nodes []*protocol.Node
+
+	mu      sync.Mutex
+	nextObj memory.ObjectID
+	regions []memory.ObjectID // RegionID -> ObjectID
+	nextLck uint32
+	nextBar uint32
+	nextAtm uint32
+	closed  bool
+
+	threadSeq atomic.Int64
+}
+
+var _ api.System = (*System)(nil)
+
+// New builds and starts a Munin system.
+func New(cfg Config) (*System, error) {
+	clu, err := cluster.New(cluster.Config{
+		Nodes: cfg.Nodes, Transport: cfg.Transport, Cost: cfg.Cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, clu: clu, nextObj: 1, nextLck: 1, nextBar: 1, nextAtm: 1}
+	for i := 0; i < cfg.Nodes; i++ {
+		k := clu.Kernel(msg.NodeID(i))
+		ls := dlock.NewService(k)
+		s.locks = append(s.locks, ls)
+		s.nodes = append(s.nodes, protocol.NewNode(k, ls))
+	}
+	return s, nil
+}
+
+// Name implements api.System.
+func (s *System) Name() string { return "munin" }
+
+// Nodes implements api.System.
+func (s *System) Nodes() int { return s.cfg.Nodes }
+
+// Alloc implements api.System: creates one shared object with the given
+// annotation, cluster-wide. Must run before worker threads start.
+func (s *System) Alloc(name string, size int, hint protocol.Annotation, opts protocol.Options, init []byte) api.RegionID {
+	s.mu.Lock()
+	id := s.nextObj
+	s.nextObj++
+	region := api.RegionID(len(s.regions))
+	s.regions = append(s.regions, id)
+	s.mu.Unlock()
+
+	if hint == protocol.Migratory && opts.Lock == 0 {
+		// Allocate a dedicated lock for the migratory object if the
+		// caller didn't associate one.
+		opts.Lock = s.NewLock()
+	}
+	meta := protocol.Meta{ID: id, Name: name, Size: size, Annot: hint, Opts: opts}
+	s.nodes[0].Alloc(meta, init)
+	return region
+}
+
+// objectOf maps a region back to its object ID.
+func (s *System) objectOf(r api.RegionID) memory.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(r) < 0 || int(r) >= len(s.regions) {
+		panic(fmt.Sprintf("munin: unknown region %d", r))
+	}
+	return s.regions[r]
+}
+
+// NewLock implements api.System.
+func (s *System) NewLock() dlock.LockID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := dlock.LockID(s.nextLck)
+	s.nextLck++
+	return id
+}
+
+// NewBarrier implements api.System.
+func (s *System) NewBarrier() dlock.BarrierID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := dlock.BarrierID(s.nextBar)
+	s.nextBar++
+	return id
+}
+
+// NewAtomic implements api.System.
+func (s *System) NewAtomic() dlock.AtomicID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := dlock.AtomicID(s.nextAtm)
+	s.nextAtm++
+	return id
+}
+
+// Run implements api.System: SPMD over the cluster. Each thread gets
+// its own delayed update queue, flushed at every synchronization
+// operation and at thread exit.
+func (s *System) Run(nthreads int, body func(c api.Ctx)) {
+	threads.SPMD(s.cfg.Nodes, nthreads, s.cfg.Placement, func(t *threads.Thread) {
+		c := &Ctx{
+			sys:    s,
+			thread: t,
+			node:   s.nodes[t.Node],
+			locks:  s.locks[t.Node],
+			queue:  duq.New(),
+		}
+		defer c.exit()
+		body(c)
+	})
+}
+
+// Messages implements api.System.
+func (s *System) Messages() int64 { return s.clu.Stats().Messages() }
+
+// Bytes implements api.System.
+func (s *System) Bytes() int64 { return s.clu.Stats().Bytes() }
+
+// Stats exposes the underlying network accounting (modeled time,
+// per-class counts) for the benchmark harness.
+func (s *System) Stats() *transport.Stats { return s.clu.Stats() }
+
+// NodeCounters returns node i's protocol counters snapshot.
+func (s *System) NodeCounters(i int) map[string]int64 { return s.nodes[i].C.Snapshot() }
+
+// LockService returns node i's lock service (for experiments that
+// measure the proxy benefit directly).
+func (s *System) LockService(i int) *dlock.Service { return s.locks[i] }
+
+// ProtocolNode returns node i's Munin server (used by the sharing-study
+// tracer and white-box tests).
+func (s *System) ProtocolNode(i int) *protocol.Node { return s.nodes[i] }
+
+// Close implements api.System.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.clu.Close()
+}
+
+// Ctx is one thread's handle to the Munin system. It implements api.Ctx.
+type Ctx struct {
+	sys    *System
+	thread *threads.Thread
+	node   *protocol.Node
+	locks  *dlock.Service
+	queue  *duq.Queue
+}
+
+var _ api.Ctx = (*Ctx)(nil)
+
+// ThreadID implements api.Ctx.
+func (c *Ctx) ThreadID() int { return c.thread.ID }
+
+// NThreads implements api.Ctx.
+func (c *Ctx) NThreads() int { return c.thread.NThreads }
+
+// Node implements api.Ctx.
+func (c *Ctx) Node() int { return int(c.thread.Node) }
+
+// Read implements api.Ctx.
+func (c *Ctx) Read(r api.RegionID, off int, buf []byte) {
+	c.node.Read(c.queue, c.sys.objectOf(r), off, buf)
+}
+
+// Write implements api.Ctx.
+func (c *Ctx) Write(r api.RegionID, off int, data []byte) {
+	c.node.Write(c.queue, c.sys.objectOf(r), off, data)
+}
+
+// Acquire implements api.Ctx: flush, then take the distributed lock.
+// Flushing before acquire keeps this thread's prior updates ordered
+// before anything it does inside the critical section.
+func (c *Ctx) Acquire(l dlock.LockID) {
+	c.node.FlushQueue(c.queue)
+	c.locks.Acquire(l)
+}
+
+// Release implements api.Ctx: flush, then release. The flush is what
+// combines "data motion with synchronization": updates made inside the
+// critical section are guaranteed visible before the next lock holder
+// proceeds.
+func (c *Ctx) Release(l dlock.LockID) {
+	c.node.FlushQueue(c.queue)
+	c.locks.Release(l)
+}
+
+// Barrier implements api.Ctx: flush, then wait for n participants.
+func (c *Ctx) Barrier(b dlock.BarrierID, n int) {
+	c.node.FlushQueue(c.queue)
+	c.locks.BarrierWait(b, n)
+}
+
+// FetchAdd implements api.Ctx: flush (it is a synchronization op), then
+// atomically add.
+func (c *Ctx) FetchAdd(a dlock.AtomicID, delta int64) int64 {
+	c.node.FlushQueue(c.queue)
+	return c.locks.FetchAdd(a, delta)
+}
+
+// Flush implements api.Ctx.
+func (c *Ctx) Flush() { c.node.FlushQueue(c.queue) }
+
+// Evict drops this node's replica of a region (write-once pageout).
+func (c *Ctx) Evict(r api.RegionID) { c.node.Evict(c.sys.objectOf(r)) }
+
+// exit flushes the delayed update queue one final time ("whenever a
+// thread synchronizes, including during thread exit").
+func (c *Ctx) exit() { c.node.FlushQueue(c.queue) }

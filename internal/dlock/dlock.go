@@ -1,0 +1,461 @@
+// Package dlock implements Munin's distributed synchronization substrate
+// (paper §3.3.8): distributed locks built from per-node lock servers and
+// local proxy objects, plus barriers, atomic integers, condition
+// variables and Mesa-style monitors layered on top.
+//
+// # Protocol
+//
+// Every lock has a home node (HomeOf(id)). The home holds the lock's
+// global state: which node currently owns it and a FIFO queue of nodes
+// waiting for ownership. Each node runs a Service holding one proxy per
+// lock it has touched. Threads always operate on the local proxy:
+//
+//   - If the node already owns the lock and no local thread holds it,
+//     acquisition is purely local — zero messages. This is the proxy
+//     benefit the paper describes.
+//   - Otherwise the first local waiter issues an ACQUIRE call to the
+//     home; the reply *is* the ownership grant (the caller stays
+//     suspended in the V-kernel Call until granted).
+//   - The home RECALLs the lock from the owning node when other nodes
+//     queue. The owner surrenders ownership (RELEASE to home) once its
+//     local holder lets go; the home then grants to the head of the
+//     queue. Remote waiters take priority over local re-acquisition once
+//     a recall has arrived, which keeps transfers FIFO at the home and
+//     prevents remote starvation.
+//
+// # Migratory data
+//
+// Grant and release messages carry an opaque data payload. The migratory
+// coherence protocol (paper §3.3.3) registers a provider/applier pair on
+// the proxy, so the migratory objects guarded by a lock travel inside
+// the lock-transfer messages themselves — "the object is migrated,
+// together with the lock itself, to the next thread in the lock queue."
+package dlock
+
+import (
+	"fmt"
+	"sync"
+
+	"munin/internal/cluster"
+	"munin/internal/msg"
+	"munin/internal/vkernel"
+)
+
+// LockID identifies a distributed lock.
+type LockID uint32
+
+// BarrierID identifies a distributed barrier.
+type BarrierID uint32
+
+// AtomicID identifies a distributed atomic integer.
+type AtomicID uint32
+
+// CondID identifies a distributed condition variable.
+type CondID uint32
+
+// Message kinds used by the lock service.
+const (
+	kindAcquire  = msg.KindLockBase + 0 // Call: request ownership; reply = grant(+data)
+	kindRelease  = msg.KindLockBase + 1 // Send: surrender ownership to home (+data)
+	kindRecall   = msg.KindLockBase + 2 // Send: home asks owner to surrender
+	kindSeed     = msg.KindLockBase + 3 // Call: seed migratory data at home
+	kindBarrier  = msg.KindLockBase + 4 // Call: arrive at barrier; reply = release
+	kindFetchAdd = msg.KindLockBase + 5 // Call: atomic fetch-and-add
+	kindAtomLoad = msg.KindLockBase + 6 // Call: atomic load
+	kindCondWait = msg.KindLockBase + 7 // Call: block until signaled (pre-registered)
+	kindCondReg  = msg.KindLockBase + 8 // Call: register waiter, returns ticket
+	kindCondSig  = msg.KindLockBase + 9 // Call: signal/broadcast
+)
+
+// kindLockMax is the top of the range this service registers.
+const kindLockMax = msg.KindLockBase + 0x0f
+
+// Service is one node's lock server plus its proxy table.
+type Service struct {
+	k     *vkernel.Kernel
+	nodes int
+
+	mu      sync.Mutex
+	proxies map[LockID]*proxy
+	homes   map[LockID]*homeState // state for locks homed on this node
+
+	barriers map[BarrierID]*barrierState
+	atomics  map[AtomicID]*atomicState
+	conds    map[CondID]*condState
+
+	// naive disables proxy ownership caching: every release surrenders
+	// the lock to the home. Used by the E8 experiment as the baseline.
+	naive bool
+
+	// LocalAcquires counts acquisitions satisfied with zero messages.
+	localAcquires int64
+	// RemoteAcquires counts acquisitions that needed a home round trip.
+	remoteAcquires int64
+}
+
+// proxy is the local representative of one distributed lock.
+type proxy struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	owner      bool // this node holds global ownership
+	held       bool // a local thread holds the lock
+	requesting bool // an ACQUIRE call is in flight
+	recall     bool // home asked us to surrender
+
+	// Migratory data hooks (nil when no data is attached to the lock).
+	provide func() []byte
+	apply   func([]byte)
+}
+
+// homeState is the global state of a lock homed on this node.
+type homeState struct {
+	mu     sync.Mutex
+	owned  bool
+	owner  msg.NodeID
+	queue  []pendingGrant
+	stored []byte // migratory data parked at home while unowned
+}
+
+type pendingGrant struct {
+	node msg.NodeID
+	req  *msg.Msg // pending ACQUIRE call to reply to
+}
+
+type barrierState struct {
+	mu      sync.Mutex
+	arrived []*msg.Msg
+}
+
+type atomicState struct {
+	mu sync.Mutex
+	v  int64
+}
+
+type condState struct {
+	mu      sync.Mutex
+	nextTkt uint64
+	// waiters maps ticket -> pending CondWait request (nil until the
+	// waiter blocks) ; signaled tickets are removed when both the
+	// signal and the block have arrived.
+	waiters  map[uint64]*msg.Msg
+	signaled map[uint64]bool
+}
+
+// NewService creates node-local lock service state and registers its
+// message handlers on k. One Service must be created per node before any
+// lock traffic flows.
+func NewService(k *vkernel.Kernel) *Service {
+	s := &Service{
+		k:        k,
+		nodes:    k.Nodes(),
+		proxies:  make(map[LockID]*proxy),
+		homes:    make(map[LockID]*homeState),
+		barriers: make(map[BarrierID]*barrierState),
+		atomics:  make(map[AtomicID]*atomicState),
+		conds:    make(map[CondID]*condState),
+	}
+	k.Handle(msg.KindLockBase, kindLockMax, s.dispatch)
+	return s
+}
+
+// SetNaive disables local ownership caching (the proxy optimization).
+// With naive=true every acquire/release pair costs a home round trip,
+// which is the baseline the paper's proxy design improves on.
+func (s *Service) SetNaive(naive bool) {
+	s.mu.Lock()
+	s.naive = naive
+	s.mu.Unlock()
+}
+
+// LocalAcquires returns the number of lock acquisitions this node
+// satisfied without any network traffic.
+func (s *Service) LocalAcquires() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.localAcquires
+}
+
+// RemoteAcquires returns the number of lock acquisitions that required a
+// home round trip.
+func (s *Service) RemoteAcquires() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remoteAcquires
+}
+
+func (s *Service) home(id LockID) msg.NodeID {
+	return cluster.HomeOf(uint64(id), s.nodes)
+}
+
+func (s *Service) proxy(id LockID) *proxy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.proxies[id]
+	if !ok {
+		p = &proxy{}
+		p.cond = sync.NewCond(&p.mu)
+		s.proxies[id] = p
+	}
+	return p
+}
+
+func (s *Service) homeState(id LockID) *homeState {
+	if s.home(id) != s.k.Node() {
+		panic(fmt.Sprintf("dlock: node %d is not home of lock %d", s.k.Node(), id))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.homes[id]
+	if !ok {
+		h = &homeState{}
+		s.homes[id] = h
+	}
+	return h
+}
+
+// AttachMigratory registers the migratory-data hooks for a lock on this
+// node: provide is called when ownership leaves this node (its bytes ride
+// in the release message); apply is called with the bytes that arrived in
+// an ownership grant.
+func (s *Service) AttachMigratory(id LockID, provide func() []byte, apply func([]byte)) {
+	p := s.proxy(id)
+	p.mu.Lock()
+	p.provide = provide
+	p.apply = apply
+	p.mu.Unlock()
+}
+
+// SeedMigratory parks initial migratory data for lock id at its home so
+// the first grant anywhere delivers it. Call once, before use.
+func (s *Service) SeedMigratory(id LockID, data []byte) error {
+	b := encodeLockPayload(uint32(id), data)
+	if s.home(id) == s.k.Node() {
+		h := s.homeState(id)
+		h.mu.Lock()
+		h.stored = append([]byte(nil), data...)
+		h.mu.Unlock()
+		return nil
+	}
+	_, err := s.k.Call(s.home(id), kindSeed, b)
+	return err
+}
+
+// Acquire blocks the calling thread until it holds lock id.
+func (s *Service) Acquire(id LockID) {
+	p := s.proxy(id)
+	wasRemote := false
+	p.mu.Lock()
+	for {
+		if p.owner && !p.held {
+			// Local (zero-message) acquisition. A pending recall does
+			// not block this acquisition: the node is allowed to enter
+			// the critical section once more, and Release will then
+			// surrender ownership to the home. (Surrendering here
+			// instead would bounce a fresh grant away before the
+			// granted thread ever ran, since the home recalls
+			// eagerly when more waiters are queued behind a grant.)
+			p.held = true
+			p.mu.Unlock()
+			s.mu.Lock()
+			if wasRemote {
+				s.remoteAcquires++
+			} else {
+				s.localAcquires++
+			}
+			s.mu.Unlock()
+			return
+		}
+		if p.owner && p.held {
+			p.cond.Wait()
+			continue
+		}
+		// Not owner.
+		if !p.requesting {
+			p.requesting = true
+			p.mu.Unlock()
+
+			reply, err := s.k.Call(s.home(id), kindAcquire, encodeLockPayload(uint32(id), nil))
+			if err != nil {
+				p.mu.Lock()
+				p.requesting = false
+				p.cond.Broadcast()
+				panic(fmt.Sprintf("dlock: acquire lock %d: %v", id, err))
+			}
+			_, data := decodeLockPayload(reply.Payload)
+
+			p.mu.Lock()
+			p.owner = true
+			p.requesting = false
+			wasRemote = true
+			if p.apply != nil && data != nil {
+				p.apply(data)
+			}
+			p.cond.Broadcast()
+			continue // loop: grab it (we might race another local thread)
+		}
+		p.cond.Wait()
+	}
+}
+
+// Release releases lock id, previously acquired by this thread's node.
+func (s *Service) Release(id LockID) {
+	p := s.proxy(id)
+	p.mu.Lock()
+	if !p.held || !p.owner {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("dlock: release of lock %d not held by node %d", id, s.k.Node()))
+	}
+	p.held = false
+	s.mu.Lock()
+	naive := s.naive
+	s.mu.Unlock()
+	if p.recall || naive {
+		s.surrenderLocked(id, p)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// surrenderLocked gives global ownership back to the home. Caller holds
+// p.mu; the proxy must be owner with the lock free.
+func (s *Service) surrenderLocked(id LockID, p *proxy) {
+	p.owner = false
+	p.recall = false
+	var data []byte
+	if p.provide != nil {
+		data = p.provide()
+	}
+	payload := encodeLockPayload(uint32(id), data)
+	// Send outside the proxy lock would be nicer, but the one-way send
+	// never blocks on the remote side (unbounded queues), so holding
+	// p.mu here cannot deadlock.
+	if err := s.k.Send(s.home(id), kindRelease, payload); err != nil {
+		panic(fmt.Sprintf("dlock: release lock %d: %v", id, err))
+	}
+}
+
+// dispatch routes lock-service messages.
+func (s *Service) dispatch(k *vkernel.Kernel, req *msg.Msg) {
+	switch req.Kind {
+	case kindAcquire:
+		s.handleAcquire(req)
+	case kindRelease:
+		s.handleRelease(req)
+	case kindRecall:
+		s.handleRecall(req)
+	case kindSeed:
+		s.handleSeed(req)
+	case kindBarrier:
+		s.handleBarrier(req)
+	case kindFetchAdd:
+		s.handleFetchAdd(req)
+	case kindAtomLoad:
+		s.handleAtomLoad(req)
+	case kindCondReg:
+		s.handleCondReg(req)
+	case kindCondWait:
+		s.handleCondWait(req)
+	case kindCondSig:
+		s.handleCondSig(req)
+	}
+}
+
+func (s *Service) handleAcquire(req *msg.Msg) {
+	id, _ := decodeLockPayload(req.Payload)
+	h := s.homeState(LockID(id))
+	h.mu.Lock()
+	if !h.owned {
+		h.owned = true
+		h.owner = req.From
+		data := h.stored
+		h.stored = nil
+		h.mu.Unlock()
+		s.k.Reply(req, encodeLockPayload(id, data))
+		return
+	}
+	h.queue = append(h.queue, pendingGrant{node: req.From, req: req})
+	needRecall := len(h.queue) == 1
+	owner := h.owner
+	h.mu.Unlock()
+	if needRecall {
+		s.k.Send(owner, kindRecall, encodeLockPayload(id, nil))
+	}
+}
+
+func (s *Service) handleRelease(req *msg.Msg) {
+	id, data := decodeLockPayload(req.Payload)
+	h := s.homeState(LockID(id))
+	h.mu.Lock()
+	if len(h.queue) == 0 {
+		h.owned = false
+		h.stored = append([]byte(nil), data...)
+		h.mu.Unlock()
+		return
+	}
+	next := h.queue[0]
+	h.queue = h.queue[1:]
+	h.owner = next.node
+	moreWaiters := len(h.queue) > 0
+	h.mu.Unlock()
+	// Grant: the reply to the waiter's pending ACQUIRE call, carrying
+	// the migratory data that rode in on the release.
+	s.k.Reply(next.req, encodeLockPayload(id, data))
+	if moreWaiters {
+		s.k.Send(next.node, kindRecall, encodeLockPayload(id, nil))
+	}
+}
+
+func (s *Service) handleRecall(req *msg.Msg) {
+	id, _ := decodeLockPayload(req.Payload)
+	p := s.proxy(LockID(id))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.owner && !p.held {
+		// Free right now: surrender immediately.
+		s.surrenderLocked(LockID(id), p)
+		p.cond.Broadcast()
+		return
+	}
+	// Held (or ownership still in flight): mark; Release/Acquire will
+	// honor it.
+	p.recall = true
+}
+
+func (s *Service) handleSeed(req *msg.Msg) {
+	id, data := decodeLockPayload(req.Payload)
+	h := s.homeState(LockID(id))
+	h.mu.Lock()
+	h.stored = append([]byte(nil), data...)
+	h.mu.Unlock()
+	s.k.Reply(req, nil)
+}
+
+// encodeLockPayload packs (lockID, data) for the wire. data == nil means
+// "no data"; an empty non-nil slice is preserved as empty.
+func encodeLockPayload(id uint32, data []byte) []byte {
+	b := msg.NewBuilder(8 + len(data))
+	b.U32(id)
+	if data == nil {
+		b.Bool(false)
+	} else {
+		b.Bool(true)
+		b.BytesN(data)
+	}
+	return b.Bytes()
+}
+
+func decodeLockPayload(p []byte) (id uint32, data []byte) {
+	r := msg.NewReader(p)
+	id = r.U32()
+	if r.Bool() {
+		data = append([]byte(nil), r.BytesN()...)
+		if data == nil {
+			data = []byte{}
+		}
+	}
+	if r.Err() != nil {
+		panic(fmt.Sprintf("dlock: corrupt payload: %v", r.Err()))
+	}
+	return id, data
+}

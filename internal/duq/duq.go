@@ -1,0 +1,96 @@
+// Package duq implements the delayed update queue, the mechanism behind
+// Munin's loose coherence (paper §3.2). Each thread owns one Queue.
+// When the thread modifies a write-buffered object (write-many, result),
+// the object is marked dirty in the queue; nothing is sent. When the
+// thread synchronizes — lock acquire or release, barrier, thread exit —
+// the queue flushes: the runtime emits one combined update (a diff
+// against the object's twin) per dirty object, in the order the objects
+// were first modified.
+//
+// Ordering: the paper requires updates to be propagated "in the order
+// that they occur in the program execution" so a remote thread can never
+// observe a later update while missing an earlier one. Flushing in
+// first-modification order preserves exactly that inter-object order.
+// Within one synchronization interval, multiple writes to the same
+// object are combined into a single update — the combining the paper
+// credits with reducing network traffic — which is safe because no
+// remote thread may legally observe intermediate states between two of
+// this thread's synchronization points.
+package duq
+
+import (
+	"munin/internal/memory"
+)
+
+// Queue is one thread's delayed update queue. It is not safe for
+// concurrent use: exactly one thread records into and flushes it, per
+// the paper's per-thread design.
+type Queue struct {
+	order []memory.ObjectID
+	dirty map[memory.ObjectID]bool
+
+	writes    int64 // write operations recorded
+	flushes   int64 // Flush calls that emitted at least one update
+	updates   int64 // combined updates emitted
+	combined  int64 // writes absorbed into an already-dirty entry
+	emptyFlux int64 // flushes with nothing pending
+}
+
+// New creates an empty queue.
+func New() *Queue {
+	return &Queue{dirty: make(map[memory.ObjectID]bool)}
+}
+
+// MarkDirty records that obj was modified by this thread. It returns
+// true if this is the first modification of obj since the last flush
+// (i.e. the caller should snapshot a twin if the protocol needs one).
+func (q *Queue) MarkDirty(obj memory.ObjectID) (first bool) {
+	q.writes++
+	if q.dirty[obj] {
+		q.combined++
+		return false
+	}
+	q.dirty[obj] = true
+	q.order = append(q.order, obj)
+	return true
+}
+
+// Pending returns the number of distinct objects with delayed updates.
+func (q *Queue) Pending() int { return len(q.order) }
+
+// Contains reports whether obj has a pending delayed update.
+func (q *Queue) Contains(obj memory.ObjectID) bool { return q.dirty[obj] }
+
+// Flush emits every pending update in first-modification order by
+// invoking emit for each dirty object, then clears the queue. If emit
+// returns an error the flush stops and the remaining entries stay
+// queued (the failed object stays queued too, at the head).
+func (q *Queue) Flush(emit func(obj memory.ObjectID) error) error {
+	if len(q.order) == 0 {
+		q.emptyFlux++
+		return nil
+	}
+	for i, obj := range q.order {
+		if err := emit(obj); err != nil {
+			q.order = q.order[i:]
+			rest := make(map[memory.ObjectID]bool, len(q.order))
+			for _, o := range q.order {
+				rest[o] = true
+			}
+			q.dirty = rest
+			return err
+		}
+		delete(q.dirty, obj)
+		q.updates++
+	}
+	q.order = q.order[:0]
+	q.flushes++
+	return nil
+}
+
+// Stats reports the queue's counters: total writes recorded, writes
+// combined into an existing entry, updates emitted, and non-empty
+// flushes.
+func (q *Queue) Stats() (writes, combined, updates, flushes int64) {
+	return q.writes, q.combined, q.updates, q.flushes
+}

@@ -1,0 +1,169 @@
+package duq
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"munin/internal/memory"
+)
+
+func TestMarkDirtyFirstAndCombine(t *testing.T) {
+	q := New()
+	if !q.MarkDirty(1) {
+		t.Fatal("first mark not reported first")
+	}
+	if q.MarkDirty(1) {
+		t.Fatal("second mark reported first")
+	}
+	if !q.MarkDirty(2) {
+		t.Fatal("new object not first")
+	}
+	if q.Pending() != 2 {
+		t.Fatalf("pending = %d", q.Pending())
+	}
+	writes, combined, _, _ := q.Stats()
+	if writes != 3 || combined != 1 {
+		t.Fatalf("writes=%d combined=%d", writes, combined)
+	}
+}
+
+func TestFlushPreservesFirstWriteOrder(t *testing.T) {
+	q := New()
+	// Program order of first writes: 5, 3, 9; 3 written again.
+	q.MarkDirty(5)
+	q.MarkDirty(3)
+	q.MarkDirty(9)
+	q.MarkDirty(3)
+	var got []memory.ObjectID
+	if err := q.Flush(func(o memory.ObjectID) error {
+		got = append(got, o)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []memory.ObjectID{5, 3, 9}
+	if len(got) != 3 || got[0] != 5 || got[1] != 3 || got[2] != 9 {
+		t.Fatalf("flush order = %v, want %v", got, want)
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("pending after flush = %d", q.Pending())
+	}
+}
+
+func TestFlushEmptyIsNoop(t *testing.T) {
+	q := New()
+	called := false
+	if err := q.Flush(func(memory.ObjectID) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("emit called on empty queue")
+	}
+}
+
+func TestFlushErrorKeepsRemainder(t *testing.T) {
+	q := New()
+	q.MarkDirty(1)
+	q.MarkDirty(2)
+	q.MarkDirty(3)
+	boom := errors.New("boom")
+	err := q.Flush(func(o memory.ObjectID) error {
+		if o == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// 1 emitted; 2 and 3 remain, 2 at head.
+	if q.Pending() != 2 || !q.Contains(2) || !q.Contains(3) || q.Contains(1) {
+		t.Fatalf("pending=%d contains: 1=%v 2=%v 3=%v",
+			q.Pending(), q.Contains(1), q.Contains(2), q.Contains(3))
+	}
+	var got []memory.ObjectID
+	q.Flush(func(o memory.ObjectID) error { got = append(got, o); return nil })
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("retry order = %v", got)
+	}
+}
+
+func TestRedirtyAfterFlushIsFirstAgain(t *testing.T) {
+	q := New()
+	q.MarkDirty(7)
+	q.Flush(func(memory.ObjectID) error { return nil })
+	if !q.MarkDirty(7) {
+		t.Fatal("object not 'first' after flush")
+	}
+}
+
+func TestStatsCountUpdatesAndFlushes(t *testing.T) {
+	q := New()
+	q.MarkDirty(1)
+	q.MarkDirty(2)
+	q.Flush(func(memory.ObjectID) error { return nil })
+	q.MarkDirty(1)
+	q.Flush(func(memory.ObjectID) error { return nil })
+	q.Flush(func(memory.ObjectID) error { return nil }) // empty
+	_, _, updates, flushes := q.Stats()
+	if updates != 3 || flushes != 2 {
+		t.Fatalf("updates=%d flushes=%d", updates, flushes)
+	}
+}
+
+func TestCombiningProperty(t *testing.T) {
+	// Property: after any sequence of writes, the number of emitted
+	// updates at flush equals the number of distinct objects written,
+	// and writes == updates + combined.
+	f := func(objs []uint8) bool {
+		q := New()
+		distinct := map[memory.ObjectID]bool{}
+		for _, o := range objs {
+			id := memory.ObjectID(o % 16)
+			q.MarkDirty(id)
+			distinct[id] = true
+		}
+		n := 0
+		q.Flush(func(memory.ObjectID) error { n++; return nil })
+		writes, combined, updates, _ := q.Stats()
+		return n == len(distinct) && updates == int64(n) &&
+			writes == updates+combined && writes == int64(len(objs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushOrderProperty(t *testing.T) {
+	// Property: flush order is exactly the order of first occurrence.
+	f := func(objs []uint8) bool {
+		q := New()
+		var firstOrder []memory.ObjectID
+		seen := map[memory.ObjectID]bool{}
+		for _, o := range objs {
+			id := memory.ObjectID(o)
+			if q.MarkDirty(id) != !seen[id] {
+				return false
+			}
+			if !seen[id] {
+				seen[id] = true
+				firstOrder = append(firstOrder, id)
+			}
+		}
+		var got []memory.ObjectID
+		q.Flush(func(o memory.ObjectID) error { got = append(got, o); return nil })
+		if len(got) != len(firstOrder) {
+			return false
+		}
+		for i := range got {
+			if got[i] != firstOrder[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package memory provides the shared-object data model the coherence
+// protocols operate on: byte-addressed object copies, twins (snapshots
+// taken before buffered writes), and diffs (the minimal byte spans that
+// changed relative to a twin).
+//
+// Twins and diffs are the machinery behind the paper's delayed update
+// mechanism: a write-shared object is snapshotted on the first write of a
+// synchronization interval; when the delayed update queue flushes, the
+// runtime encodes only the spans that differ and ships those. Multiple
+// writes to the same object in one interval therefore collapse into one
+// message ("delaying updates allows the system to combine updates to the
+// same object").
+package memory
+
+import (
+	"fmt"
+
+	"munin/internal/msg"
+)
+
+// ObjectID identifies a shared data object across the whole cluster.
+type ObjectID uint32
+
+// Span is one contiguous run of modified bytes within an object.
+type Span struct {
+	Off  int
+	Data []byte
+}
+
+// End returns the exclusive end offset of the span.
+func (s Span) End() int { return s.Off + len(s.Data) }
+
+func (s Span) String() string { return fmt.Sprintf("[%d,%d)", s.Off, s.End()) }
+
+// MakeTwin returns a private snapshot of data.
+func MakeTwin(data []byte) []byte {
+	return append([]byte(nil), data...)
+}
+
+// Diff computes the byte spans where cur differs from twin. Runs of
+// equal bytes shorter than joinGap between two differing runs are folded
+// into one span, trading a few redundant bytes for fewer spans (the same
+// space/metadata tradeoff real DSM diff encodings make). The two slices
+// must be the same length.
+func Diff(twin, cur []byte, joinGap int) []Span {
+	if len(twin) != len(cur) {
+		panic(fmt.Sprintf("memory: diff length mismatch %d vs %d", len(twin), len(cur)))
+	}
+	var spans []Span
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		// Start of a differing run.
+		start := i
+		last := i // last differing index seen
+		j := i + 1
+		for j < len(cur) {
+			if twin[j] != cur[j] {
+				last = j
+				j++
+				continue
+			}
+			// Equal byte: look ahead up to joinGap for another difference.
+			k := j
+			for k < len(cur) && k-last <= joinGap && twin[k] == cur[k] {
+				k++
+			}
+			if k < len(cur) && k-last <= joinGap && twin[k] != cur[k] {
+				last = k
+				j = k + 1
+				continue
+			}
+			break
+		}
+		spans = append(spans, Span{Off: start, Data: append([]byte(nil), cur[start:last+1]...)})
+		i = last + 1
+	}
+	return spans
+}
+
+// ApplySpans writes each span into dst. Panics if a span exceeds dst.
+func ApplySpans(dst []byte, spans []Span) {
+	for _, s := range spans {
+		if s.Off < 0 || s.End() > len(dst) {
+			panic(fmt.Sprintf("memory: span %v out of range for object of size %d", s, len(dst)))
+		}
+		copy(dst[s.Off:], s.Data)
+	}
+}
+
+// SpanBytes returns the total payload bytes across spans.
+func SpanBytes(spans []Span) int {
+	n := 0
+	for _, s := range spans {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// Overlap reports whether any span in a overlaps any span in b.
+// Properly synchronized programs produce non-overlapping concurrent
+// diffs; the write-many protocol uses this to detect data races when
+// merging (a diagnostic the paper's loose-coherence definition permits
+// either way, but surfacing it helps users).
+func Overlap(a, b []Span) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x.Off < y.End() && y.Off < x.End() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// EncodeSpans appends a wire encoding of spans to b.
+func EncodeSpans(b *msg.Builder, spans []Span) {
+	b.U32(uint32(len(spans)))
+	for _, s := range spans {
+		b.U32(uint32(s.Off))
+		b.BytesN(s.Data)
+	}
+}
+
+// DecodeSpans reads spans encoded by EncodeSpans. The returned spans
+// copy their data out of the reader's buffer.
+func DecodeSpans(r *msg.Reader) []Span {
+	n := int(r.U32())
+	if r.Err() != nil || n < 0 {
+		return nil
+	}
+	spans := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		off := int(r.U32())
+		data := append([]byte(nil), r.BytesN()...)
+		if r.Err() != nil {
+			return nil
+		}
+		spans = append(spans, Span{Off: off, Data: data})
+	}
+	return spans
+}

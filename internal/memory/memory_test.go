@@ -1,0 +1,192 @@
+package memory
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"munin/internal/msg"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a := []byte{1, 2, 3, 4}
+	if spans := Diff(a, append([]byte(nil), a...), 0); spans != nil {
+		t.Fatalf("diff of identical = %v, want nil", spans)
+	}
+}
+
+func TestDiffSingleByte(t *testing.T) {
+	twin := []byte{0, 0, 0, 0}
+	cur := []byte{0, 9, 0, 0}
+	spans := Diff(twin, cur, 0)
+	if len(spans) != 1 || spans[0].Off != 1 || !bytes.Equal(spans[0].Data, []byte{9}) {
+		t.Fatalf("spans = %v", spans)
+	}
+}
+
+func TestDiffMultipleRuns(t *testing.T) {
+	twin := make([]byte, 10)
+	cur := make([]byte, 10)
+	cur[0], cur[1] = 1, 1
+	cur[8], cur[9] = 2, 2
+	spans := Diff(twin, cur, 0)
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v, want 2 runs", spans)
+	}
+	if spans[0].Off != 0 || spans[1].Off != 8 {
+		t.Fatalf("offsets = %d,%d", spans[0].Off, spans[1].Off)
+	}
+}
+
+func TestDiffJoinGapMergesNearbyRuns(t *testing.T) {
+	twin := make([]byte, 10)
+	cur := make([]byte, 10)
+	cur[0] = 1
+	cur[3] = 1 // 2 equal bytes between runs
+	if spans := Diff(twin, cur, 0); len(spans) != 2 {
+		t.Fatalf("gap=0 spans = %v, want 2", spans)
+	}
+	spans := Diff(twin, cur, 4)
+	if len(spans) != 1 {
+		t.Fatalf("gap=4 spans = %v, want 1 merged", spans)
+	}
+	if spans[0].Off != 0 || spans[0].End() != 4 {
+		t.Fatalf("merged span = %v", spans[0])
+	}
+}
+
+func TestDiffLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Diff([]byte{1}, []byte{1, 2}, 0)
+}
+
+func TestApplySpansReconstructs(t *testing.T) {
+	// Property: for random twin/cur pairs and any joinGap,
+	// apply(twin, diff(twin, cur)) == cur.
+	f := func(seed int64, gap8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(twin)
+		copy(cur, twin)
+		// Mutate a random subset.
+		for i := 0; i < n/4; i++ {
+			cur[rng.Intn(max(n, 1))] = byte(rng.Int())
+		}
+		spans := Diff(twin, cur, int(gap8)%8)
+		got := append([]byte(nil), twin...)
+		ApplySpans(got, spans)
+		return bytes.Equal(got, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySpansOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ApplySpans(make([]byte, 4), []Span{{Off: 3, Data: []byte{1, 2}}})
+}
+
+func TestSpanBytes(t *testing.T) {
+	spans := []Span{{0, []byte{1, 2}}, {10, []byte{3}}}
+	if got := SpanBytes(spans); got != 3 {
+		t.Fatalf("SpanBytes = %d", got)
+	}
+	if SpanBytes(nil) != 0 {
+		t.Fatal("SpanBytes(nil) != 0")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := []Span{{0, make([]byte, 4)}} // [0,4)
+	b := []Span{{4, make([]byte, 2)}} // [4,6) — adjacent, not overlapping
+	c := []Span{{3, make([]byte, 2)}} // [3,5) — overlaps a and b
+	if Overlap(a, b) {
+		t.Fatal("adjacent spans reported overlapping")
+	}
+	if !Overlap(a, c) || !Overlap(c, b) {
+		t.Fatal("overlapping spans not detected")
+	}
+	if Overlap(nil, a) {
+		t.Fatal("nil overlap")
+	}
+}
+
+func TestSpanCodecRoundTrip(t *testing.T) {
+	spans := []Span{{0, []byte{1}}, {100, []byte{2, 3, 4}}, {7, nil}}
+	b := msg.NewBuilder(64)
+	EncodeSpans(b, spans)
+	got := DecodeSpans(msg.NewReader(b.Bytes()))
+	if len(got) != len(spans) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range spans {
+		if got[i].Off != spans[i].Off || !bytes.Equal(got[i].Data, spans[i].Data) {
+			t.Fatalf("span %d: %v vs %v", i, got[i], spans[i])
+		}
+	}
+}
+
+func TestSpanCodecEmpty(t *testing.T) {
+	b := msg.NewBuilder(8)
+	EncodeSpans(b, nil)
+	got := DecodeSpans(msg.NewReader(b.Bytes()))
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSpanCodecCorrupt(t *testing.T) {
+	if got := DecodeSpans(msg.NewReader([]byte{0xff, 0xff})); got != nil {
+		t.Fatalf("corrupt decode = %v, want nil", got)
+	}
+}
+
+func TestDiffProperty_SpansMinimalWithZeroGap(t *testing.T) {
+	// With joinGap=0, every span byte must actually differ from the twin
+	// at its position... except interior bytes folded by runs — with
+	// gap 0 there is no folding, so all span bytes differ.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(twin)
+		copy(cur, twin)
+		for i := 0; i < n/3; i++ {
+			p := rng.Intn(n)
+			cur[p] ^= byte(rng.Intn(255) + 1)
+		}
+		for _, s := range Diff(twin, cur, 0) {
+			for i, b := range s.Data {
+				if twin[s.Off+i] == b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeTwinIsPrivate(t *testing.T) {
+	a := []byte{1, 2, 3}
+	tw := MakeTwin(a)
+	a[0] = 9
+	if tw[0] != 1 {
+		t.Fatal("twin aliases original")
+	}
+}

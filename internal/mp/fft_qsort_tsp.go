@@ -1,0 +1,375 @@
+package mp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"munin/internal/msg"
+	"munin/internal/vkernel"
+)
+
+// FFT runs the hand-coded binary-exchange FFT: blocks of the
+// bit-reversed signal are distributed, early stages are node-local,
+// and each of the log2(P) final stages exchanges whole blocks with the
+// partner node — the classic hypercube pattern.
+func (h *Harness) FFT(n int, sample func(i int) complex128) float64 {
+	p := h.Nodes()
+	if n%p != 0 || p&(p-1) != 0 || n&(n-1) != 0 {
+		panic("mp.fft: n and p must be powers of two with p | n")
+	}
+	blockLen := n / p
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+
+	// Per-node exchange mailboxes keyed by stage.
+	type mailbox struct {
+		mu   sync.Mutex
+		cond *sync.Cond
+		blks map[int][]complex128
+	}
+	boxes := make([]*mailbox, p)
+	for w := 0; w < p; w++ {
+		mb := &mailbox{blks: make(map[int][]complex128)}
+		mb.cond = sync.NewCond(&mb.mu)
+		boxes[w] = mb
+		k := h.kernels[w]
+		k.Handle(kindBlock, kindBlock, func(k *vkernel.Kernel, req *msg.Msg) {
+			r := msg.NewReader(req.Payload)
+			stage := r.Int()
+			raw := bytesToF64s(r.BytesN())
+			blk := make([]complex128, len(raw)/2)
+			for i := range blk {
+				blk[i] = complex(raw[2*i], raw[2*i+1])
+			}
+			mb.mu.Lock()
+			mb.blks[stage] = blk
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+	}
+	sendBlock := func(from, to, stage int, blk []complex128) {
+		raw := make([]float64, 2*len(blk))
+		for i, v := range blk {
+			raw[2*i], raw[2*i+1] = real(v), imag(v)
+		}
+		payload := msg.NewBuilder(16 + len(raw)*8).Int(stage).BytesN(f64sToBytes(raw)).Bytes()
+		if err := h.kernels[from].Send(msg.NodeID(to), kindBlock, payload); err != nil {
+			panic(fmt.Sprintf("mp.fft: %v", err))
+		}
+	}
+	waitBlock := func(w, stage int) []complex128 {
+		mb := boxes[w]
+		mb.mu.Lock()
+		defer mb.mu.Unlock()
+		for mb.blks[stage] == nil {
+			mb.cond.Wait()
+		}
+		blk := mb.blks[stage]
+		delete(mb.blks, stage)
+		return blk
+	}
+
+	sums := make([]float64, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * blockLen
+			blk := make([]complex128, blockLen)
+			for i := range blk {
+				// Each node generates its bit-reversed block locally.
+				g := base + i
+				blk[i] = 0
+				// find source sample s with reverse(s)=g
+				s := reverseBitsMP(g, bits)
+				blk[i] = sample(s)
+			}
+			stage := 0
+			for ln := 2; ln <= n; ln <<= 1 {
+				half := ln / 2
+				ang := -2 * math.Pi / float64(ln)
+				wl := complex(math.Cos(ang), math.Sin(ang))
+				if ln <= blockLen {
+					// Node-local butterflies.
+					for b := 0; b < blockLen; b += ln {
+						wv := complex(1, 0)
+						for j := 0; j < half; j++ {
+							u := blk[b+j]
+							v := blk[b+j+half] * wv
+							blk[b+j] = u + v
+							blk[b+j+half] = u - v
+							wv *= wl
+						}
+					}
+				} else {
+					// Cross-node stage: exchange blocks with partner.
+					partner := w ^ (half / blockLen)
+					sendBlock(w, partner, stage, blk)
+					other := waitBlock(w, stage)
+					for i := range blk {
+						g := base + i
+						j := g & (half - 1)
+						wv := cpow(wl, j)
+						if g&half == 0 {
+							blk[i] = blk[i] + other[i]*wv
+						} else {
+							blk[i] = other[i] - blk[i]*wv
+						}
+					}
+				}
+				stage++
+			}
+			s := 0.0
+			for _, v := range blk {
+				s += math.Hypot(real(v), imag(v))
+			}
+			sums[w] = s
+			if w != 0 {
+				h.kernels[w].Send(0, kindGather, f64sToBytes([]float64{s}))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+func reverseBitsMP(x, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (x>>i)&1
+	}
+	return r
+}
+
+func cpow(w complex128, k int) complex128 {
+	r := complex(1, 0)
+	for ; k > 0; k >>= 1 {
+		if k&1 == 1 {
+			r *= w
+		}
+		w *= w
+	}
+	return r
+}
+
+// QSort runs the hand-coded parallel sort: blocks are sorted locally on
+// each node and the sorted runs are gathered and merged at the master —
+// 2(P-1) messages total.
+func (h *Harness) QSort(n int, value func(i int) int64) int64 {
+	p := h.Nodes()
+
+	type sorted struct {
+		mu   sync.Mutex
+		cond *sync.Cond
+		runs map[int][]int64
+	}
+	st := &sorted{runs: make(map[int][]int64)}
+	st.cond = sync.NewCond(&st.mu)
+	h.kernels[0].Handle(kindGather, kindGather, func(k *vkernel.Kernel, req *msg.Msg) {
+		r := msg.NewReader(req.Payload)
+		from := r.Int()
+		raw := r.BytesN()
+		vals := make([]int64, len(raw)/8)
+		for i := range vals {
+			vals[i] = int64(uint64(raw[i*8])<<56 | uint64(raw[i*8+1])<<48 |
+				uint64(raw[i*8+2])<<40 | uint64(raw[i*8+3])<<32 |
+				uint64(raw[i*8+4])<<24 | uint64(raw[i*8+5])<<16 |
+				uint64(raw[i*8+6])<<8 | uint64(raw[i*8+7]))
+		}
+		st.mu.Lock()
+		st.runs[from] = vals
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	})
+
+	// Charge the scatter (workers' blocks) and run local sorts.
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := part(n, p, w)
+		if w != 0 {
+			h.kernels[0].Send(msg.NodeID(w), kindScatter, make([]byte, (hi-lo)*8))
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			vals := make([]int64, hi-lo)
+			for i := range vals {
+				vals[i] = value(lo + i)
+			}
+			sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+			if w == 0 {
+				st.mu.Lock()
+				st.runs[0] = vals
+				st.cond.Broadcast()
+				st.mu.Unlock()
+				return
+			}
+			buf := make([]byte, len(vals)*8)
+			for i, v := range vals {
+				u := uint64(v)
+				buf[i*8], buf[i*8+1], buf[i*8+2], buf[i*8+3] = byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32)
+				buf[i*8+4], buf[i*8+5], buf[i*8+6], buf[i*8+7] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+			}
+			payload := msg.NewBuilder(16 + len(buf)).Int(w).BytesN(buf).Bytes()
+			h.kernels[w].Send(0, kindGather, payload)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Master: wait for all runs, P-way merge, positional checksum.
+	st.mu.Lock()
+	for len(st.runs) < p {
+		st.cond.Wait()
+	}
+	runs := make([][]int64, 0, p)
+	for w := 0; w < p; w++ {
+		runs = append(runs, st.runs[w])
+	}
+	st.mu.Unlock()
+
+	var sum int64
+	idx := make([]int, p)
+	for pos := 1; pos <= n; pos++ {
+		best, bestRun := int64(math.MaxInt64), -1
+		for r := 0; r < p; r++ {
+			if idx[r] < len(runs[r]) && runs[r][idx[r]] < best {
+				best, bestRun = runs[r][idx[r]], r
+			}
+		}
+		idx[bestRun]++
+		sum += int64(pos) * best
+	}
+	return sum
+}
+
+// TSP runs the hand-coded master-worker branch and bound: the master
+// expands the tree to a fixed depth and hands each frontier node to a
+// worker together with the current bound; workers search their subtree
+// locally and reply with any improvement.
+func (h *Harness) TSP(cities, cutoff int, dist func(i, j int) int64) int64 {
+	p := h.Nodes()
+	n := cities
+	d := make([]int64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d[i*n+j] = dist(i, j)
+		}
+	}
+
+	// Workers: solve a subtree given (path, visited, cost, bound).
+	for w := 1; w < p; w++ {
+		k := h.kernels[w]
+		k.Handle(kindWork, kindWork, func(k *vkernel.Kernel, req *msg.Msg) {
+			r := msg.NewReader(req.Payload)
+			depth := r.Int()
+			visited := r.I64()
+			cost := r.I64()
+			bound := r.I64()
+			path := make([]int, depth)
+			for i := range path {
+				path[i] = r.Int()
+			}
+			best := tspSubtree(n, d, path, visited, cost, bound)
+			k.Reply(req, msg.NewBuilder(8).I64(best).Bytes())
+		})
+	}
+
+	// Master: BFS expansion to the cutoff depth.
+	type item struct {
+		path    []int
+		visited int64
+		cost    int64
+	}
+	frontier := []item{{path: []int{0}, visited: 1, cost: 0}}
+	for depth := 1; depth < cutoff; depth++ {
+		var next []item
+		for _, it := range frontier {
+			last := it.path[len(it.path)-1]
+			for c := 1; c < n; c++ {
+				if it.visited&(1<<c) != 0 {
+					continue
+				}
+				next = append(next, item{
+					path:    append(append([]int(nil), it.path...), c),
+					visited: it.visited | 1<<c,
+					cost:    it.cost + d[last*n+c],
+				})
+			}
+		}
+		frontier = next
+	}
+
+	best := int64(1) << 62
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p-1+1)
+	for i, it := range frontier {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, it item) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mu.Lock()
+			bound := best
+			mu.Unlock()
+			if it.cost >= bound {
+				return
+			}
+			var got int64
+			if p == 1 {
+				got = tspSubtree(n, d, it.path, it.visited, it.cost, bound)
+			} else {
+				w := 1 + i%(p-1)
+				b := msg.NewBuilder(64)
+				b.Int(len(it.path)).I64(it.visited).I64(it.cost).I64(bound)
+				for _, c := range it.path {
+					b.Int(c)
+				}
+				reply, err := h.kernels[0].Call(msg.NodeID(w), kindWork, b.Bytes())
+				if err != nil {
+					panic(fmt.Sprintf("mp.tsp: %v", err))
+				}
+				got = msg.NewReader(reply.Payload).I64()
+			}
+			mu.Lock()
+			if got < best {
+				best = got
+			}
+			mu.Unlock()
+		}(i, it)
+	}
+	wg.Wait()
+	return best
+}
+
+// tspSubtree exhaustively searches below a partial tour.
+func tspSubtree(n int, d []int64, path []int, visited, cost, bound int64) int64 {
+	if len(path) == n {
+		total := cost + d[path[n-1]*n+path[0]]
+		if total < bound {
+			return total
+		}
+		return bound
+	}
+	last := path[len(path)-1]
+	for next := 1; next < n; next++ {
+		if visited&(1<<next) != 0 {
+			continue
+		}
+		ncost := cost + d[last*n+next]
+		if ncost >= bound {
+			continue
+		}
+		bound = tspSubtree(n, d, append(path, next), visited|1<<next, ncost, bound)
+	}
+	return bound
+}

@@ -1,0 +1,64 @@
+package mp
+
+import (
+	"testing"
+
+	"munin/internal/apps"
+)
+
+func TestFFTMatchesReference(t *testing.T) {
+	f := apps.FFT{N: 128, Threads: 4, Seed: 3}
+	h := newH(t, 4)
+	got := h.FFT(f.N, f.Sample)
+	want := f.Sequential()
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("mp fft = %v, want %v", got, want)
+	}
+	if h.Messages() == 0 {
+		t.Fatal("no exchange messages counted")
+	}
+}
+
+func TestFFTSingleNode(t *testing.T) {
+	f := apps.FFT{N: 64, Threads: 1, Seed: 9}
+	h := newH(t, 1)
+	got := h.FFT(f.N, f.Sample)
+	if diff := got - f.Sequential(); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("1-node mp fft = %v, want %v", got, f.Sequential())
+	}
+	if h.Messages() != 0 {
+		t.Fatalf("1-node fft sent %d messages", h.Messages())
+	}
+}
+
+func TestQSortMatchesReference(t *testing.T) {
+	q := apps.QSort{N: 500, Threads: 4, Seed: 4}
+	h := newH(t, 4)
+	got := h.QSort(q.N, q.Value)
+	want := q.Sequential()
+	if got != want {
+		t.Fatalf("mp qsort = %d, want %d", got, want)
+	}
+	// Sample-sort traffic: scatter (P-1) + gather (P-1) only.
+	if h.Messages() > 8 {
+		t.Fatalf("mp qsort used %d messages, want <= 8", h.Messages())
+	}
+}
+
+func TestTSPMatchesReference(t *testing.T) {
+	p := apps.TSP{Cities: 8, Threads: 4, Seed: 5}
+	h := newH(t, 4)
+	got := h.TSP(p.Cities, 3, p.Dist)
+	want := p.Sequential()
+	if got != want {
+		t.Fatalf("mp tsp = %d, want %d", got, want)
+	}
+}
+
+func TestTSPSingleNode(t *testing.T) {
+	p := apps.TSP{Cities: 7, Threads: 1, Seed: 11}
+	h := newH(t, 1)
+	if got := h.TSP(p.Cities, 2, p.Dist); got != p.Sequential() {
+		t.Fatalf("1-node mp tsp = %d, want %d", got, p.Sequential())
+	}
+}

@@ -1,0 +1,76 @@
+package mp
+
+import (
+	"testing"
+
+	"munin/internal/apps"
+	"munin/internal/transport"
+)
+
+func newH(t *testing.T, nodes int) *Harness {
+	t.Helper()
+	h, err := NewHarness(nodes, transport.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func TestMatMulMatchesReference(t *testing.T) {
+	m := apps.MatMul{N: 24, Threads: 4, Seed: 1}
+	h := newH(t, 4)
+	got := h.MatMul(m.N, m.ElemA, m.ElemB)
+	want := m.Sequential()
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("mp matmul = %v, want %v", got, want)
+	}
+	if h.Messages() == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestGaussMatchesReference(t *testing.T) {
+	g := apps.Gauss{N: 20, Threads: 4, Seed: 2}
+	h := newH(t, 4)
+	got := h.Gauss(g.N, g.Elem)
+	want := g.Sequential()
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("mp gauss = %v, want %v", got, want)
+	}
+}
+
+func TestLifeMatchesReference(t *testing.T) {
+	l := apps.Life{Rows: 24, Cols: 16, Generations: 5, Threads: 4, Seed: 6}
+	h := newH(t, 4)
+	got := h.Life(l.Rows, l.Cols, l.Generations, l.AliveAtInit)
+	want := l.Sequential()
+	if got != want {
+		t.Fatalf("mp life = %d, want %d", got, want)
+	}
+}
+
+func TestSingleNodeDegenerate(t *testing.T) {
+	m := apps.MatMul{N: 8, Threads: 1, Seed: 3}
+	h := newH(t, 1)
+	got := h.MatMul(m.N, m.ElemA, m.ElemB)
+	if diff := got - m.Sequential(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("1-node mp matmul = %v", got)
+	}
+	if h.Messages() != 0 {
+		t.Fatalf("1-node matmul sent %d messages, want 0", h.Messages())
+	}
+}
+
+func TestTrafficFarBelowDSM(t *testing.T) {
+	// The point of the baseline: hand-coded MP gauss should use at
+	// most a few messages per step (1 broadcast) + scatter/gather.
+	g := apps.Gauss{N: 20, Threads: 4, Seed: 2}
+	h := newH(t, 4)
+	h.Gauss(g.N, g.Elem)
+	msgs := h.Messages()
+	// scatter(3) + broadcasts(19, multicast=1 wire msg each) + gather(3)
+	if msgs > 40 {
+		t.Fatalf("mp gauss used %d messages, want <= 40", msgs)
+	}
+}

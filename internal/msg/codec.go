@@ -1,0 +1,182 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Builder incrementally encodes a payload. The zero value is ready to use.
+// All integers are big-endian; byte slices and strings are length-prefixed
+// with a uvarint.
+type Builder struct {
+	buf []byte
+}
+
+// NewBuilder returns a Builder with capacity preallocated.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded payload.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Len returns the current encoded length.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// U8 appends one byte.
+func (b *Builder) U8(v uint8) *Builder {
+	b.buf = append(b.buf, v)
+	return b
+}
+
+// U16 appends a big-endian uint16.
+func (b *Builder) U16(v uint16) *Builder {
+	b.buf = binary.BigEndian.AppendUint16(b.buf, v)
+	return b
+}
+
+// U32 appends a big-endian uint32.
+func (b *Builder) U32(v uint32) *Builder {
+	b.buf = binary.BigEndian.AppendUint32(b.buf, v)
+	return b
+}
+
+// U64 appends a big-endian uint64.
+func (b *Builder) U64(v uint64) *Builder {
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+	return b
+}
+
+// I64 appends a big-endian int64 (two's complement).
+func (b *Builder) I64(v int64) *Builder { return b.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (b *Builder) Int(v int) *Builder { return b.I64(int64(v)) }
+
+// F64 appends a float64 in IEEE-754 bits.
+func (b *Builder) F64(v float64) *Builder { return b.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (b *Builder) Bool(v bool) *Builder {
+	if v {
+		return b.U8(1)
+	}
+	return b.U8(0)
+}
+
+// BytesN appends a uvarint length prefix followed by the bytes.
+func (b *Builder) BytesN(p []byte) *Builder {
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(p)))
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+// Str appends a length-prefixed string.
+func (b *Builder) Str(s string) *Builder {
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(s)))
+	b.buf = append(b.buf, s...)
+	return b
+}
+
+// ErrCodec is the error reported by Reader when decoding runs off the end
+// of the payload or a length prefix is corrupt.
+var ErrCodec = errors.New("msg: malformed payload")
+
+// Reader decodes payloads written by Builder. Decoding errors are sticky:
+// after the first failure every subsequent Get returns the zero value and
+// Err() reports the failure, so call sites can decode a whole struct and
+// check once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = ErrCodec
+		return nil
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 decodes one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U16 decodes a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+// U32 decodes a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+// U64 decodes a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+// I64 decodes a big-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int decodes an int encoded with Builder.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 decodes an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool decodes a one-byte boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// BytesN decodes a length-prefixed byte slice. The result aliases the
+// underlying payload buffer.
+func (r *Reader) BytesN() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, sz := binary.Uvarint(r.buf[r.off:])
+	if sz <= 0 || n > uint64(len(r.buf)-r.off-sz) {
+		r.err = ErrCodec
+		return nil
+	}
+	r.off += sz
+	return r.take(int(n))
+}
+
+// Str decodes a length-prefixed string.
+func (r *Reader) Str() string { return string(r.BytesN()) }

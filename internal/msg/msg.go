@@ -1,0 +1,116 @@
+// Package msg defines the wire format used by every Munin component that
+// crosses a node boundary: a fixed header (kind, routing, correlation)
+// followed by an opaque payload, plus Builder/Reader helpers for encoding
+// protocol payloads with encoding/binary semantics.
+//
+// All inter-node state in this repository travels as a serialized Msg;
+// nothing shares pointers across nodes. That discipline is what makes the
+// traffic accounting in internal/transport meaningful.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node (processor) in the cluster. Node IDs are dense
+// small integers assigned at cluster construction.
+type NodeID int32
+
+// Kind discriminates message types. Ranges are allocated per subsystem so
+// a dispatcher can route on kind alone.
+type Kind uint16
+
+// Kind ranges. Each subsystem registers handlers for its range with the
+// vkernel dispatcher.
+const (
+	KindInvalid Kind = 0
+
+	// 0x0100: vkernel control
+	KindPing Kind = 0x0100
+
+	// 0x0200: distributed lock service
+	KindLockBase Kind = 0x0200
+
+	// 0x0300: Munin coherence protocols
+	KindCohBase Kind = 0x0300
+
+	// 0x0400: Ivy page DSM
+	KindIvyBase Kind = 0x0400
+
+	// 0x0500: barrier / misc sync
+	KindSyncBase Kind = 0x0500
+
+	// 0x0600: application-level message passing (internal/mp baselines)
+	KindAppBase Kind = 0x0600
+)
+
+// Flags bits.
+const (
+	FlagReply uint16 = 1 << iota // message is a reply to Seq
+	FlagMulticast
+)
+
+// Msg is one message on the wire.
+type Msg struct {
+	Kind    Kind
+	Flags   uint16
+	From    NodeID
+	To      NodeID // destination node, or group ID if FlagMulticast
+	Seq     uint64 // request/reply correlation token
+	Payload []byte
+}
+
+// headerSize is the fixed encoded header length in bytes.
+const headerSize = 2 + 2 + 4 + 4 + 8 + 4
+
+// ErrShortMessage is returned when decoding a buffer too small to contain
+// a complete message.
+var ErrShortMessage = errors.New("msg: short message")
+
+// Marshal encodes m into a fresh byte slice.
+func (m *Msg) Marshal() []byte {
+	buf := make([]byte, headerSize+len(m.Payload))
+	binary.BigEndian.PutUint16(buf[0:], uint16(m.Kind))
+	binary.BigEndian.PutUint16(buf[2:], m.Flags)
+	binary.BigEndian.PutUint32(buf[4:], uint32(m.From))
+	binary.BigEndian.PutUint32(buf[8:], uint32(m.To))
+	binary.BigEndian.PutUint64(buf[12:], m.Seq)
+	binary.BigEndian.PutUint32(buf[20:], uint32(len(m.Payload)))
+	copy(buf[headerSize:], m.Payload)
+	return buf
+}
+
+// Unmarshal decodes a message from buf. The returned message's payload
+// aliases buf; callers that retain the message must copy.
+func Unmarshal(buf []byte) (*Msg, error) {
+	if len(buf) < headerSize {
+		return nil, ErrShortMessage
+	}
+	plen := binary.BigEndian.Uint32(buf[20:])
+	if uint32(len(buf)-headerSize) < plen {
+		return nil, fmt.Errorf("msg: payload truncated: have %d want %d: %w",
+			len(buf)-headerSize, plen, ErrShortMessage)
+	}
+	return &Msg{
+		Kind:    Kind(binary.BigEndian.Uint16(buf[0:])),
+		Flags:   binary.BigEndian.Uint16(buf[2:]),
+		From:    NodeID(binary.BigEndian.Uint32(buf[4:])),
+		To:      NodeID(binary.BigEndian.Uint32(buf[8:])),
+		Seq:     binary.BigEndian.Uint64(buf[12:]),
+		Payload: buf[headerSize : headerSize+int(plen)],
+	}, nil
+}
+
+// WireSize returns the encoded size of the message in bytes. The
+// transport charges this size against the bandwidth model.
+func (m *Msg) WireSize() int { return headerSize + len(m.Payload) }
+
+// IsReply reports whether the reply flag is set.
+func (m *Msg) IsReply() bool { return m.Flags&FlagReply != 0 }
+
+func (m *Msg) String() string {
+	return fmt.Sprintf("msg{kind=%#x from=%d to=%d seq=%d flags=%#x |payload|=%d}",
+		uint16(m.Kind), m.From, m.To, m.Seq, m.Flags, len(m.Payload))
+}

@@ -1,0 +1,165 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgRoundTrip(t *testing.T) {
+	m := &Msg{
+		Kind:    KindLockBase + 3,
+		Flags:   FlagReply,
+		From:    2,
+		To:      5,
+		Seq:     0xdeadbeefcafe,
+		Payload: []byte("hello world"),
+	}
+	buf := m.Marshal()
+	if len(buf) != m.WireSize() {
+		t.Fatalf("marshal len %d != WireSize %d", len(buf), m.WireSize())
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Flags != m.Flags || got.From != m.From ||
+		got.To != m.To || got.Seq != m.Seq || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, m)
+	}
+	if !got.IsReply() {
+		t.Fatal("IsReply = false, want true")
+	}
+}
+
+func TestMsgEmptyPayload(t *testing.T) {
+	m := &Msg{Kind: KindPing, From: 0, To: 1}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatalf("payload = %v, want empty", got.Payload)
+	}
+	if got.IsReply() {
+		t.Fatal("IsReply = true, want false")
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 5)); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("err = %v, want ErrShortMessage", err)
+	}
+	// Header claims a longer payload than present.
+	m := &Msg{Kind: KindPing, Payload: []byte{1, 2, 3, 4}}
+	buf := m.Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-2]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated payload err = %v, want ErrShortMessage", err)
+	}
+}
+
+func TestMsgRoundTripProperty(t *testing.T) {
+	f := func(kind uint16, flags uint16, from, to int32, seq uint64, payload []byte) bool {
+		m := &Msg{Kind: Kind(kind), Flags: flags, From: NodeID(from),
+			To: NodeID(to), Seq: seq, Payload: payload}
+		got, err := Unmarshal(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Kind == m.Kind && got.Flags == m.Flags &&
+			got.From == m.From && got.To == m.To && got.Seq == m.Seq &&
+			bytes.Equal(got.Payload, m.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderReaderRoundTrip(t *testing.T) {
+	b := NewBuilder(64)
+	b.U8(7).U16(1000).U32(70000).U64(1 << 40).I64(-42).Int(-1).
+		F64(3.5).Bool(true).Bool(false).BytesN([]byte{9, 8, 7}).Str("munin")
+	r := NewReader(b.Bytes())
+	if v := r.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := r.U16(); v != 1000 {
+		t.Fatalf("U16 = %d", v)
+	}
+	if v := r.U32(); v != 70000 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := r.U64(); v != 1<<40 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := r.Int(); v != -1 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := r.F64(); v != 3.5 {
+		t.Fatalf("F64 = %g", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool mismatch")
+	}
+	if v := r.BytesN(); !bytes.Equal(v, []byte{9, 8, 7}) {
+		t.Fatalf("BytesN = %v", v)
+	}
+	if v := r.Str(); v != "munin" {
+		t.Fatalf("Str = %q", v)
+	}
+	if r.Err() != nil {
+		t.Fatalf("err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	_ = r.U64() // runs off the end
+	if !errors.Is(r.Err(), ErrCodec) {
+		t.Fatalf("err = %v, want ErrCodec", r.Err())
+	}
+	// Subsequent reads return zero values, error stays.
+	if v := r.U8(); v != 0 {
+		t.Fatalf("after error U8 = %d, want 0", v)
+	}
+	if v := r.Str(); v != "" {
+		t.Fatalf("after error Str = %q, want empty", v)
+	}
+	if !errors.Is(r.Err(), ErrCodec) {
+		t.Fatalf("sticky error lost: %v", r.Err())
+	}
+}
+
+func TestReaderCorruptLengthPrefix(t *testing.T) {
+	b := NewBuilder(8)
+	b.BytesN(bytes.Repeat([]byte{1}, 100))
+	buf := b.Bytes()[:10] // truncate the body
+	r := NewReader(buf)
+	if v := r.BytesN(); v != nil {
+		t.Fatalf("BytesN on truncated = %v, want nil", v)
+	}
+	if !errors.Is(r.Err(), ErrCodec) {
+		t.Fatalf("err = %v, want ErrCodec", r.Err())
+	}
+}
+
+func TestBuilderReaderProperty(t *testing.T) {
+	f := func(a uint64, b int64, s string, p []byte, flag bool) bool {
+		bld := NewBuilder(0)
+		bld.U64(a).I64(b).Str(s).BytesN(p).Bool(flag)
+		r := NewReader(bld.Bytes())
+		ga, gb, gs, gp, gf := r.U64(), r.I64(), r.Str(), r.BytesN(), r.Bool()
+		return r.Err() == nil && ga == a && gb == b && gs == s &&
+			bytes.Equal(gp, p) && gf == flag && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,602 @@
+package protocol
+
+import (
+	"fmt"
+
+	"munin/internal/memory"
+	"munin/internal/msg"
+
+	"munin/internal/duq"
+)
+
+// Read copies object bytes [off, off+len(buf)) into buf, running the
+// object's coherence protocol if the local copy is not valid. q is the
+// calling thread's delayed update queue (used only to let loose
+// protocols observe the thread's own buffered writes, which live in the
+// local copy already — reads never flush).
+func (n *Node) Read(q *duq.Queue, id memory.ObjectID, off int, buf []byte) {
+	o := n.mustObj(id)
+	checkRange(o, off, len(buf))
+	switch o.meta.Annot {
+	case Private:
+		o.mu.Lock()
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+	case Migratory:
+		o.mu.Lock()
+		if o.state == Invalid {
+			o.mu.Unlock()
+			panic(fmt.Sprintf("munin: migratory object %q read without holding lock %d",
+				o.meta.Name, o.meta.Opts.Lock))
+		}
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+	case ReadMostly:
+		n.readMostlyRead(o, off, buf)
+	case Result:
+		n.resultRead(o, off, buf)
+	case ProducerConsumer:
+		n.ensureConsumer(o)
+		o.mu.Lock()
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+	default: // Conventional, GeneralRW, WriteOnce, WriteMany
+		n.ensureReadable(o)
+		o.mu.Lock()
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+	}
+	n.C.Add("reads", 1)
+}
+
+// Write stores data at [off, off+len(data)), running the object's
+// coherence protocol. Loose protocols (write-many, result) buffer the
+// update in q until the thread's next synchronization point.
+func (n *Node) Write(q *duq.Queue, id memory.ObjectID, off int, data []byte) {
+	o := n.mustObj(id)
+	checkRange(o, off, len(data))
+	switch o.meta.Annot {
+	case Private:
+		o.mu.Lock()
+		copy(o.data[off:], data)
+		o.mu.Unlock()
+	case Migratory:
+		o.mu.Lock()
+		if o.state == Invalid {
+			o.mu.Unlock()
+			panic(fmt.Sprintf("munin: migratory object %q written without holding lock %d",
+				o.meta.Name, o.meta.Opts.Lock))
+		}
+		copy(o.data[off:], data)
+		o.mu.Unlock()
+	case WriteOnce:
+		n.writeOnceWrite(o, off, data)
+	case WriteMany, Result:
+		n.bufferedWrite(q, o, off, data)
+	case ProducerConsumer:
+		n.producerWrite(q, o, off, data)
+	case ReadMostly:
+		n.readMostlyWrite(o, off, data)
+	default: // Conventional, GeneralRW
+		n.ownershipWrite(o, off, data)
+	}
+	n.C.Add("writes", 1)
+}
+
+// FlushQueue propagates every delayed update in q, in program order.
+// The runtime calls this before every synchronization operation and at
+// thread exit ("the delayed update queue must be flushed whenever a
+// thread synchronizes").
+func (n *Node) FlushQueue(q *duq.Queue) {
+	err := q.Flush(func(id memory.ObjectID) error {
+		n.flushObject(id)
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("munin: flush: %v", err))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Replication fault path (write-once, write-many, conventional reads,
+// general-rw reads, read-mostly in replicated mode).
+
+// ensureReadable guarantees o has a valid local copy, fetching one from
+// the home if necessary. The invalidation generation counter detects an
+// invalidation racing the fetch reply, in which case the fetch retries.
+func (n *Node) ensureReadable(o *Obj) {
+	o.mu.Lock()
+	for {
+		if o.state != Invalid {
+			o.mu.Unlock()
+			return
+		}
+		if o.fetching {
+			o.cond.Wait()
+			continue
+		}
+		o.fetching = true
+		gen := o.genInv
+		o.mu.Unlock()
+
+		n.C.Add("fault.read", 1)
+		reply, err := n.k.Call(n.homeOf(&o.meta), kindRead,
+			msg.NewBuilder(4).U32(uint32(o.meta.ID)).Bytes())
+		if err != nil {
+			panic(fmt.Sprintf("munin: read fault %q: %v", o.meta.Name, err))
+		}
+		r := msg.NewReader(reply.Payload)
+		data := r.BytesN()
+		seq := r.U64()
+
+		o.mu.Lock()
+		o.fetching = false
+		if o.genInv != gen {
+			// Invalidated while the reply was in flight: retry.
+			n.C.Add("fetch.retry", 1)
+			o.cond.Broadcast()
+			continue
+		}
+		copy(o.data, data)
+		o.state = Shared
+		o.alignSeq(seq)
+		o.cond.Broadcast()
+		o.mu.Unlock()
+		return
+	}
+}
+
+// advanceOwn advances the update sequence past this node's own diff,
+// whose relay excluded us. Every relay with a smaller sequence number
+// was acknowledged by this node before the home replied to our diff, so
+// it is already applied; parked entries at or below seq (if any slipped
+// in) are applied in ascending order, then contiguous successors drain.
+// Caller holds o.mu.
+func (o *Obj) advanceOwn(seq uint64) {
+	if seq <= o.applySeq {
+		return
+	}
+	for s := o.applySeq + 1; s <= seq; s++ {
+		if spans, ok := o.pendApply[s]; ok {
+			memory.ApplySpans(o.data, spans)
+			delete(o.pendApply, s)
+		}
+	}
+	o.applySeq = seq
+	for {
+		spans, ok := o.pendApply[o.applySeq+1]
+		if !ok {
+			break
+		}
+		delete(o.pendApply, o.applySeq+1)
+		memory.ApplySpans(o.data, spans)
+		o.applySeq++
+	}
+}
+
+// alignSeq fast-forwards the update sequence to the fetched snapshot and
+// applies any parked later updates. Caller holds o.mu.
+func (o *Obj) alignSeq(seq uint64) {
+	if seq < o.applySeq {
+		return // fetched snapshot older than what we already applied (cannot happen via home, defensive)
+	}
+	o.applySeq = seq
+	for {
+		spans, ok := o.pendApply[o.applySeq+1]
+		if !ok {
+			break
+		}
+		delete(o.pendApply, o.applySeq+1)
+		memory.ApplySpans(o.data, spans)
+		o.applySeq++
+	}
+	// Drop parked updates at or below the snapshot.
+	for s := range o.pendApply {
+		if s <= o.applySeq {
+			delete(o.pendApply, s)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Write-once (§3.3.1): replication on demand; writes only during
+// initialization at the home while no other copies exist.
+
+func (n *Node) writeOnceWrite(o *Obj, off int, data []byte) {
+	home := n.homeOf(&o.meta)
+	if home != n.id {
+		panic(fmt.Sprintf("munin: write-once object %q written from node %d (home %d) after initialization",
+			o.meta.Name, n.id, home))
+	}
+	d := n.dirEntryOf(o.meta.ID)
+	d.mu.Lock()
+	sole := len(d.copyset) == 1 && d.copyset[n.id]
+	d.mu.Unlock()
+	if !sole {
+		panic(fmt.Sprintf("munin: write-once object %q written after replication", o.meta.Name))
+	}
+	o.mu.Lock()
+	copy(o.data[off:], data)
+	o.mu.Unlock()
+}
+
+// Evict drops this node's replica of a read-only (write-once or
+// replicated read-mostly) object — the paper's "pageout" for large
+// read-only objects. The next access refetches.
+func (n *Node) Evict(id memory.ObjectID) {
+	o := n.mustObj(id)
+	home := n.homeOf(&o.meta)
+	if home == n.id {
+		return // the home copy is authoritative and never evicted
+	}
+	o.mu.Lock()
+	if o.state == Invalid {
+		o.mu.Unlock()
+		return
+	}
+	o.state = Invalid
+	o.genInv++
+	o.mu.Unlock()
+	n.C.Add("evict", 1)
+	n.k.Send(home, kindEvict, msg.NewBuilder(4).U32(uint32(id)).Bytes())
+}
+
+// ---------------------------------------------------------------------
+// Write-many and result (§3.3.2, §3.2): buffered writes against a twin,
+// propagated as diffs when the thread synchronizes.
+
+func (n *Node) bufferedWrite(q *duq.Queue, o *Obj, off int, data []byte) {
+	n.ensureReadable(o)
+	o.mu.Lock()
+	q.MarkDirty(o.meta.ID)
+	// The twin is per-node while dirty marks are per-thread: another
+	// thread's flush may have consumed the twin this thread's mark was
+	// relying on, so a missing twin must be resnapshotted regardless of
+	// whether the mark was fresh — otherwise writes after a co-located
+	// thread's flush would never be diffed.
+	if o.twin == nil {
+		o.twin = memory.MakeTwin(o.data)
+		n.C.Add("twin", 1)
+	}
+	copy(o.data[off:], data)
+	o.mu.Unlock()
+	n.C.Add("write.buffered", 1)
+}
+
+// flushObject emits the delayed update for one object.
+func (n *Node) flushObject(id memory.ObjectID) {
+	o := n.mustObj(id)
+	switch o.meta.Annot {
+	case WriteMany, Result:
+		n.flushDiff(o)
+	case ProducerConsumer:
+		n.flushProducer(o)
+	default:
+		// Other annotations never enter the DUQ.
+	}
+}
+
+// flushDiff sends the twin/current diff to the object's home, which
+// merges it and (for write-many) redistributes to other copy holders.
+func (n *Node) flushDiff(o *Obj) {
+	o.mu.Lock()
+	if o.twin == nil {
+		o.mu.Unlock()
+		return
+	}
+	spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
+	o.twin = nil
+	o.mu.Unlock()
+	if len(spans) == 0 {
+		return
+	}
+	n.C.Add("diff.sent", 1)
+	n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
+	home := n.homeOf(&o.meta)
+	if home == n.id {
+		// Local flush at the home: the home copy already holds the
+		// bytes; just run the home-side redistribution.
+		n.homeMergeDiff(o.meta.ID, spans, n.id, true)
+		return
+	}
+	b := msg.NewBuilder(16 + memory.SpanBytes(spans))
+	b.U32(uint32(o.meta.ID))
+	memory.EncodeSpans(b, spans)
+	// Acknowledged: the flush does not return until the home (and,
+	// transitively, every copy holder) has installed the update, so a
+	// synchronization operation that follows guarantees visibility.
+	reply, err := n.k.Call(home, kindDiff, b.Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: diff %q: %v", o.meta.Name, err))
+	}
+	seq := msg.NewReader(reply.Payload).U64()
+	o.mu.Lock()
+	o.advanceOwn(seq)
+	o.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Producer-consumer (§3.3.4): eager object movement. The producer
+// multicasts updates directly to the registered consumer set (plus the
+// home) as soon as its thread synchronizes — in the best case the new
+// values arrive before consumers need them and they never wait.
+
+func (n *Node) producerWrite(q *duq.Queue, o *Obj, off int, data []byte) {
+	o.mu.Lock()
+	if !o.isProducer && o.state == Invalid {
+		// First touch by the producing node: fetch current contents
+		// (producers usually wrote it first, via Alloc at home, but a
+		// non-home producer needs a copy to diff against).
+		o.mu.Unlock()
+		n.becomeProducer(o)
+		o.mu.Lock()
+	}
+	q.MarkDirty(o.meta.ID)
+	if o.twin == nil { // see bufferedWrite: twin is per-node
+		o.twin = memory.MakeTwin(o.data)
+		n.C.Add("twin", 1)
+	}
+	copy(o.data[off:], data)
+	o.mu.Unlock()
+	n.C.Add("write.buffered", 1)
+}
+
+// becomeProducer registers this node as the object's producer with the
+// home and caches the current consumer set.
+func (n *Node) becomeProducer(o *Obj) {
+	o.mu.Lock()
+	if o.isProducer {
+		o.mu.Unlock()
+		return
+	}
+	o.mu.Unlock()
+	reply, err := n.k.Call(n.homeOf(&o.meta), kindRegCons,
+		msg.NewBuilder(5).U32(uint32(o.meta.ID)).Bool(true).Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: register producer %q: %v", o.meta.Name, err))
+	}
+	r := msg.NewReader(reply.Payload)
+	data := r.BytesN()
+	seq := r.U64()
+	nc := int(r.U32())
+	consumers := make([]msg.NodeID, 0, nc)
+	for i := 0; i < nc; i++ {
+		consumers = append(consumers, msg.NodeID(r.U32()))
+	}
+	o.mu.Lock()
+	if o.state == Invalid {
+		copy(o.data, data)
+		o.state = Shared
+		o.alignSeq(seq)
+	}
+	o.isProducer = true
+	o.prodSeq = seq
+	o.consumers = consumers
+	o.mu.Unlock()
+}
+
+// flushProducer multicasts the producer's buffered update directly to
+// every consumer and the home. pushMu serializes concurrent flushes by
+// threads on the producing node so consumers see sequence numbers in
+// order and an acknowledged push implies all earlier pushes landed.
+func (n *Node) flushProducer(o *Obj) {
+	n.becomeProducer(o)
+	o.pushMu.Lock()
+	defer o.pushMu.Unlock()
+	o.mu.Lock()
+	if o.twin == nil {
+		o.mu.Unlock()
+		return
+	}
+	spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
+	o.twin = nil
+	if len(spans) == 0 {
+		o.mu.Unlock()
+		return
+	}
+	o.prodSeq++
+	seq := o.prodSeq
+	o.applySeq = seq // our copy already reflects this update
+	members := make([]msg.NodeID, 0, len(o.consumers)+1)
+	members = append(members, o.consumers...)
+	home := n.homeOf(&o.meta)
+	found := false
+	for _, m := range members {
+		if m == home {
+			found = true
+		}
+	}
+	if !found && home != n.id {
+		members = append(members, home)
+	}
+	id := o.meta.ID
+	o.mu.Unlock()
+
+	n.C.Add("diff.sent", 1)
+	n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
+	n.C.Add("eager.push", 1)
+	b := msg.NewBuilder(32 + memory.SpanBytes(spans))
+	b.U32(uint32(id)).U64(seq).U8(uint8(Refresh))
+	memory.EncodeSpans(b, spans)
+	// Acknowledged eager push: consumers never wait for data, the
+	// producer pays the wait at its own synchronization point.
+	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !isShutdown(err) {
+		panic(fmt.Sprintf("munin: producer push %q: %v", o.meta.Name, err))
+	}
+}
+
+// ensureConsumer registers this node as a consumer on first read and
+// installs the current contents; afterwards the producer's eager pushes
+// keep the copy fresh and reads are purely local.
+func (n *Node) ensureConsumer(o *Obj) {
+	o.mu.Lock()
+	if o.registered || o.isProducer || o.state != Invalid {
+		o.mu.Unlock()
+		return
+	}
+	if o.fetching {
+		for o.fetching {
+			o.cond.Wait()
+		}
+		o.mu.Unlock()
+		return
+	}
+	o.fetching = true
+	o.mu.Unlock()
+
+	n.C.Add("fault.read", 1)
+	n.C.Add("consumer.stall", 1) // a consumer had to wait for data
+	reply, err := n.k.Call(n.homeOf(&o.meta), kindRegCons,
+		msg.NewBuilder(5).U32(uint32(o.meta.ID)).Bool(false).Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: register consumer %q: %v", o.meta.Name, err))
+	}
+	r := msg.NewReader(reply.Payload)
+	data := r.BytesN()
+	seq := r.U64()
+
+	o.mu.Lock()
+	o.fetching = false
+	copy(o.data, data)
+	o.state = Shared
+	o.registered = true
+	o.alignSeq(seq)
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Read-mostly (§3.3.5): the prototype uses remote load/store. With
+// Options.Dynamic the home observes the read/write mix and may switch
+// the object to replication (§3.4.1), after which reads are local.
+
+func (n *Node) readMostlyRead(o *Obj, off int, buf []byte) {
+	o.mu.Lock()
+	replicated := o.replicated
+	o.mu.Unlock()
+	home := n.homeOf(&o.meta)
+	if home == n.id {
+		o.mu.Lock()
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+		return
+	}
+	if replicated {
+		n.ensureReadable(o)
+		o.mu.Lock()
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+		return
+	}
+	n.C.Add("remote.load", 1)
+	reply, err := n.k.Call(home, kindRemRead,
+		msg.NewBuilder(12).U32(uint32(o.meta.ID)).Int(off).Int(len(buf)).Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: remote load %q: %v", o.meta.Name, err))
+	}
+	copy(buf, msg.NewReader(reply.Payload).BytesN())
+}
+
+func (n *Node) readMostlyWrite(o *Obj, off int, data []byte) {
+	home := n.homeOf(&o.meta)
+	if home == n.id {
+		// The home applies locally and, in replicated mode,
+		// redistributes to the copyset.
+		o.mu.Lock()
+		copy(o.data[off:], data)
+		o.mu.Unlock()
+		n.homeAfterRemoteWrite(o.meta.ID, []memory.Span{{Off: off, Data: append([]byte(nil), data...)}}, n.id)
+		return
+	}
+	n.C.Add("remote.store", 1)
+	b := msg.NewBuilder(16 + len(data))
+	b.U32(uint32(o.meta.ID)).Int(off).BytesN(data)
+	reply, err := n.k.Call(home, kindRemWrite, b.Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: remote store %q: %v", o.meta.Name, err))
+	}
+	// In replicated mode the home's redistribution excludes us (we
+	// sent the write), so install our own bytes and advance the
+	// sequence from the reply.
+	if seq := msg.NewReader(reply.Payload).U64(); seq > 0 {
+		o.mu.Lock()
+		if o.state != Invalid {
+			copy(o.data[off:], data)
+			o.advanceOwn(seq)
+		}
+		o.mu.Unlock()
+	}
+}
+
+// resultRead serves reads of result objects: local at the home (where
+// the collector runs), remote load elsewhere.
+func (n *Node) resultRead(o *Obj, off int, buf []byte) {
+	home := n.homeOf(&o.meta)
+	if home == n.id {
+		o.mu.Lock()
+		copy(buf, o.data[off:])
+		o.mu.Unlock()
+		return
+	}
+	n.C.Add("remote.load", 1)
+	reply, err := n.k.Call(home, kindRemRead,
+		msg.NewBuilder(12).U32(uint32(o.meta.ID)).Int(off).Int(len(buf)).Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: result read %q: %v", o.meta.Name, err))
+	}
+	copy(buf, msg.NewReader(reply.Payload).BytesN())
+}
+
+// ---------------------------------------------------------------------
+// Ownership write path (conventional §3.1 and general read-write
+// §3.3.6). The requester acquires exclusive ownership through the home,
+// which invalidates every other copy first (strict coherence).
+
+func (n *Node) ownershipWrite(o *Obj, off int, data []byte) {
+	o.mu.Lock()
+	for {
+		if o.state == Exclusive {
+			copy(o.data[off:], data)
+			o.mu.Unlock()
+			return
+		}
+		if o.fetching || o.owning {
+			o.cond.Wait()
+			continue
+		}
+		o.owning = true
+		o.mu.Unlock()
+
+		n.C.Add("fault.write", 1)
+		// The grant is installed — and this write applied — inline on
+		// the dispatcher goroutine, strictly before any later fetch or
+		// invalidation from the home is dispatched. This closes the
+		// "grant delivered but not yet installed" window: no other
+		// node can ever be served this object's pre-install state.
+		err := n.k.CallInline(n.homeOf(&o.meta), kindWriteOwn,
+			msg.NewBuilder(4).U32(uint32(o.meta.ID)).Bytes(),
+			func(reply *msg.Msg) {
+				r := msg.NewReader(reply.Payload)
+				hasData := r.Bool()
+				var fresh []byte
+				if hasData {
+					fresh = r.BytesN()
+				}
+				o.mu.Lock()
+				if hasData {
+					copy(o.data, fresh)
+				}
+				o.state = Exclusive
+				o.dirtyOwner = true
+				copy(o.data[off:], data)
+				o.owning = false
+				o.grantPending = false
+				o.cond.Broadcast()
+				o.mu.Unlock()
+			})
+		if err != nil {
+			panic(fmt.Sprintf("munin: write fault %q: %v", o.meta.Name, err))
+		}
+		return // the inline callback applied the write
+	}
+}

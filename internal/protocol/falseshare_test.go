@@ -1,0 +1,81 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"munin/internal/duq"
+)
+
+// TestConventionalFalseSharingPhases mimics the access pattern that
+// page-granularity DSM sees under false sharing: several nodes
+// concurrently write disjoint slots of the same object within a phase,
+// then after a (host-level) barrier every node must observe every
+// slot's new value. Any miss is a strict-coherence violation.
+func TestConventionalFalseSharingPhases(t *testing.T) {
+	const nodes = 4
+	const phases = 40
+	const slot = 32
+	r := newRig(t, nodes)
+	r.alloc(1, "page", nodes*slot, Conventional, DefaultOptions(), nil)
+
+	var wg sync.WaitGroup
+	// Roomy buffer: a persistent stale copy can produce one error per
+	// slot per phase per node; a full channel must never block a
+	// worker or the phase barriers wedge.
+	errs := make(chan string, nodes*nodes*phases)
+	bars := make([]*sync.WaitGroup, phases*2)
+	for i := range bars {
+		bars[i] = &sync.WaitGroup{}
+		bars[i].Add(nodes)
+	}
+	for node := 0; node < nodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			q := duq.New()
+			buf := make([]byte, slot)
+			for ph := 0; ph < phases; ph++ {
+				// Phase part 1: write my slot (read-modify-write of
+				// the shared object, like a row update inside a page).
+				for i := range buf {
+					buf[i] = byte(ph + node + i)
+				}
+				r.nodes[node].Write(q, 1, node*slot, buf)
+				bars[ph*2].Done()
+				bars[ph*2].Wait()
+				// Phase part 2: read every slot and verify.
+				got := make([]byte, slot)
+				for s := 0; s < nodes; s++ {
+					r.nodes[node].Read(q, 1, s*slot, got)
+					for i := range got {
+						if got[i] != byte(ph+s+i) {
+							o := r.nodes[node].obj(1)
+							o.mu.Lock()
+							st, gen := o.state, o.genInv
+							o.mu.Unlock()
+							home := r.nodes[node].homeOf(&o.meta)
+							d := r.nodes[home].dirEntryOf(1)
+							d.mu.Lock()
+							owner := d.owner
+							cs := fmt.Sprintf("%v", d.copyset)
+							d.mu.Unlock()
+							errs <- fmt.Sprintf("phase %d node %d slot %d byte %d = %d, want %d | state=%v gen=%d dir.owner=%d copyset=%s",
+								ph, node, s, i, got[i], byte(ph+s+i), st, gen, owner, cs)
+							break
+						}
+					}
+				}
+				bars[ph*2+1].Done()
+				bars[ph*2+1].Wait()
+			}
+		}(node)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+		break
+	}
+}

@@ -1,0 +1,657 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"munin/internal/memory"
+	"munin/internal/msg"
+	"munin/internal/transport"
+	"munin/internal/vkernel"
+)
+
+// allOtherNodes returns every node ID except this one.
+func (n *Node) allOtherNodes() []msg.NodeID {
+	out := make([]msg.NodeID, 0, n.nodes-1)
+	for i := 0; i < n.nodes; i++ {
+		if msg.NodeID(i) != n.id {
+			out = append(out, msg.NodeID(i))
+		}
+	}
+	return out
+}
+
+// handleRead serves a copy of the object to a faulting reader. This node
+// is the object's home.
+func (n *Node) handleRead(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	d := n.dirEntryOf(id)
+	n.C.Add("home.read", 1)
+
+	switch o.meta.Annot {
+	case Conventional:
+		d.mu.Lock()
+		if d.owner != n.id {
+			// Ivy-like: fetch from the current owner, write the data
+			// back to the home, downgrade the owner to reader.
+			data := n.fetchFrom(d.owner, id, fetchForRead)
+			o.mu.Lock()
+			copy(o.data, data)
+			o.mu.Unlock()
+			d.copyset[d.owner] = true
+			d.owner = n.id
+			d.copyset[n.id] = true
+		}
+		o.mu.Lock()
+		// Wait out any pending local grant install (see
+		// handleWriteOwn), then downgrade the home's own copy so a
+		// later local write re-runs the invalidation round instead
+		// of silently staying exclusive.
+		for o.grantPending {
+			o.cond.Wait()
+		}
+		o.state = Shared
+		data := append([]byte(nil), o.data...)
+		o.mu.Unlock()
+		d.copyset[req.From] = true
+		d.mu.Unlock()
+		n.replyData(req, data, 0)
+
+	case GeneralRW:
+		d.mu.Lock()
+		var data []byte
+		if d.owner != n.id {
+			// Berkeley dirty sharing: the dirty owner serves the read
+			// and stays owner; the home's copy is not updated.
+			data = n.fetchFrom(d.owner, id, fetchDirty)
+		} else {
+			o.mu.Lock()
+			for o.grantPending {
+				o.cond.Wait()
+			}
+			// Home keeps dirty ownership but must downgrade to
+			// shared so its next write invalidates the new reader.
+			o.state = Shared
+			o.dirtyOwner = true
+			data = append([]byte(nil), o.data...)
+			o.mu.Unlock()
+		}
+		d.copyset[req.From] = true
+		d.mu.Unlock()
+		n.replyData(req, data, 0)
+
+	default:
+		// Replication protocols: the home copy is authoritative.
+		d.mu.Lock()
+		o.mu.Lock()
+		data := append([]byte(nil), o.data...)
+		seq := o.applySeq
+		o.mu.Unlock()
+		d.copyset[req.From] = true
+		d.rereads++
+		d.mu.Unlock()
+		n.replyData(req, data, seq)
+	}
+}
+
+func (n *Node) replyData(req *msg.Msg, data []byte, seq uint64) {
+	b := msg.NewBuilder(16 + len(data))
+	b.BytesN(data).U64(seq)
+	n.k.Reply(req, b.Bytes())
+}
+
+// fetchFrom asks a remote owner for the object's current contents.
+func (n *Node) fetchFrom(owner msg.NodeID, id memory.ObjectID, mode uint8) []byte {
+	n.C.Add("home.fetch", 1)
+	reply, err := n.k.Call(owner, kindFetch,
+		msg.NewBuilder(5).U32(uint32(id)).U8(mode).Bytes())
+	if err != nil {
+		panic(fmt.Sprintf("munin: fetch object %d from node %d: %v", id, owner, err))
+	}
+	return append([]byte(nil), msg.NewReader(reply.Payload).BytesN()...)
+}
+
+// handleWriteOwn grants exclusive ownership to the requester after
+// invalidating every other copy (strict coherence for the ownership
+// protocols). This node is the home; d.mu serializes conflicting
+// requests for the same object.
+func (n *Node) handleWriteOwn(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	d := n.dirEntryOf(id)
+	n.C.Add("home.writeown", 1)
+
+	d.mu.Lock()
+	requester := req.From
+	oldOwner := d.owner
+	var fresh []byte
+	hasData := oldOwner != requester
+	if hasData {
+		if oldOwner == n.id {
+			// The home itself owns the copy. One of its own threads
+			// may have a grant install pending on the local
+			// dispatcher; wait for it, or we would grab the
+			// pre-install bytes and lose the home's write.
+			o.mu.Lock()
+			for o.grantPending {
+				o.cond.Wait()
+			}
+			fresh = append([]byte(nil), o.data...)
+			o.state = Invalid
+			o.genInv++
+			o.mu.Unlock()
+		} else {
+			fresh = n.fetchFrom(oldOwner, id, fetchForWrite)
+		}
+		delete(d.copyset, oldOwner)
+	}
+	for member := range d.copyset {
+		if member == requester || member == oldOwner {
+			continue
+		}
+		if member == n.id {
+			o.mu.Lock()
+			o.state = Invalid
+			o.genInv++
+			o.mu.Unlock()
+		} else {
+			n.C.Add("home.inv", 1)
+			if _, err := n.k.Call(member, kindInv,
+				msg.NewBuilder(4).U32(uint32(id)).Bytes()); err != nil {
+				panic(fmt.Sprintf("munin: invalidate object %d at node %d: %v", id, member, err))
+			}
+		}
+		delete(d.copyset, member)
+	}
+	d.owner = requester
+	d.copyset = map[msg.NodeID]bool{requester: true}
+	if requester == n.id {
+		// Granting to one of our own threads: mark the local copy
+		// until the inline install runs, so home-side handlers do not
+		// grab pre-install bytes.
+		o.mu.Lock()
+		o.grantPending = true
+		o.mu.Unlock()
+	}
+	d.mu.Unlock()
+
+	b := msg.NewBuilder(8 + len(fresh))
+	b.Bool(hasData)
+	if hasData {
+		b.BytesN(fresh)
+	}
+	n.k.Reply(req, b.Bytes())
+}
+
+// handleInv invalidates the local copy. It must not wait for any
+// in-flight ownership request: an invalidation can legitimately arrive
+// while this node's own WriteOwn is queued behind another node's at the
+// home, and the later grant will overwrite with fresh data anyway.
+func (n *Node) handleInv(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	o.mu.Lock()
+	o.state = Invalid
+	o.genInv++
+	o.dirtyOwner = false
+	o.mu.Unlock()
+	n.C.Add("inv.received", 1)
+	n.k.Reply(req, nil)
+}
+
+// handleFetch serves the object's current contents to the home on
+// behalf of a faulting node. No wait is needed for an in-flight grant:
+// grants install inline on the dispatcher (CallInline), so if the home
+// granted this node ownership before issuing this fetch, the install —
+// including the write that triggered it — already ran when this
+// handler was spawned.
+func (n *Node) handleFetch(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	mode := r.U8()
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	o.mu.Lock()
+	data := append([]byte(nil), o.data...)
+	switch mode {
+	case fetchForRead:
+		o.state = Shared
+		o.dirtyOwner = false
+	case fetchForWrite:
+		o.state = Invalid
+		o.genInv++
+		o.dirtyOwner = false
+	case fetchDirty:
+		o.state = Shared
+		o.dirtyOwner = true
+	}
+	o.mu.Unlock()
+	n.C.Add("fetch.served", 1)
+	n.k.Reply(req, msg.NewBuilder(8+len(data)).BytesN(data).Bytes())
+}
+
+// handleDiff merges a delayed-update diff into the home copy and
+// redistributes it to the other copy holders.
+func (n *Node) handleDiff(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	spans := memory.DecodeSpans(r)
+	if r.Err() != nil {
+		return
+	}
+	seq := n.homeMergeDiff(id, spans, req.From, false)
+	// The reply carries the sequence number assigned to this diff: the
+	// relay excludes the sender, so the sender advances its own copy's
+	// sequence from the reply instead (otherwise every later relay to
+	// it would look like a gap and park forever).
+	n.k.Reply(req, msg.NewBuilder(8).U64(seq).Bytes())
+}
+
+// homeMergeDiff is the home-side half of the write-many protocol: apply
+// the diff to the authoritative copy, stamp it with the next update
+// sequence number, and multicast it to every other copy holder
+// (refresh). Result objects stop at the home — the collector reads the
+// merged copy there.
+func (n *Node) homeMergeDiff(id memory.ObjectID, spans []memory.Span, from msg.NodeID, alreadyApplied bool) uint64 {
+	o := n.mustObj(id)
+	d := n.dirEntryOf(id)
+	n.C.Add("home.diff", 1)
+
+	// relayMu serializes the stamp+relay+ack round per object: an
+	// acknowledged diff implies every earlier diff for the object has
+	// been installed at every copy, which is what lets a flush-then-
+	// synchronize sequence guarantee visibility.
+	d.relayMu.Lock()
+	defer d.relayMu.Unlock()
+
+	d.mu.Lock()
+	o.mu.Lock()
+	if !alreadyApplied {
+		if o.twin != nil && memory.Overlap(spans, memory.Diff(o.twin, o.data, 0)) {
+			// Diagnostic only: concurrent overlapping updates mean the
+			// application raced (loose coherence allows either value).
+			n.C.Add("race.detected", 1)
+		}
+		memory.ApplySpans(o.data, spans)
+	}
+	o.applySeq++
+	seq := o.applySeq
+	var members []msg.NodeID
+	if o.meta.Annot == WriteMany {
+		for m := range d.copyset {
+			if m != n.id && m != from {
+				members = append(members, m)
+			}
+		}
+	}
+	d.rereads = 0
+	o.mu.Unlock()
+	d.mu.Unlock()
+
+	if len(members) == 0 {
+		return seq
+	}
+	n.C.Add("home.relay", 1)
+	b := msg.NewBuilder(32 + memory.SpanBytes(spans))
+	b.U32(uint32(id)).U64(seq).U8(uint8(Refresh))
+	memory.EncodeSpans(b, spans)
+	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !isShutdown(err) {
+		panic(fmt.Sprintf("munin: relay diff for object %d: %v", id, err))
+	}
+	return seq
+}
+
+// isShutdown reports whether an error is a benign consequence of the
+// cluster shutting down while asynchronous relays were in flight.
+func isShutdown(err error) bool {
+	return errors.Is(err, transport.ErrClosed) || errors.Is(err, vkernel.ErrClosed)
+}
+
+// handleApply installs a refresh (spans) or invalidation at a copy.
+// Refreshes are ordered by the sender's sequence numbers; a gap means a
+// multicast missed this node (possible only for producer-consumer
+// registration races), so the copy resynchronizes from the home.
+func (n *Node) handleApply(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	seq := r.U64()
+	mode := UpdateMode(r.U8())
+	var spans []memory.Span
+	if mode == Refresh {
+		spans = memory.DecodeSpans(r)
+	}
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+
+	if mode == Invalidate {
+		o.mu.Lock()
+		o.state = Invalid
+		o.genInv++
+		o.mu.Unlock()
+		n.C.Add("inv.received", 1)
+		n.k.Reply(req, nil)
+		return
+	}
+
+	o.mu.Lock()
+	n.C.Add("apply.received", 1)
+	switch {
+	case o.state == Invalid:
+		// No installed copy. A fetch may be in flight (the home added
+		// us to the copyset when it started serving it), so the update
+		// must not be dropped: park it. The fetch install drains every
+		// parked update newer than its snapshot (alignSeq); parked
+		// updates at or below the snapshot are discarded there.
+		o.pendApply[seq] = spans
+		o.mu.Unlock()
+	case seq <= o.applySeq:
+		// Duplicate/old update (we fetched a newer snapshot already).
+		o.mu.Unlock()
+	case seq == o.applySeq+1:
+		memory.ApplySpans(o.data, spans)
+		o.applySeq = seq
+		// Drain any parked successors.
+		for {
+			next, ok := o.pendApply[o.applySeq+1]
+			if !ok {
+				break
+			}
+			delete(o.pendApply, o.applySeq+1)
+			memory.ApplySpans(o.data, next)
+			o.applySeq++
+		}
+		o.mu.Unlock()
+	default:
+		// Gap. For write-many/read-mostly objects the missing
+		// sequence numbers are this node's own in-flight diffs (the
+		// home's relay excludes the sender; the diff reply advances
+		// our sequence and drains parked updates), so parking is both
+		// sufficient and required — a refetch here could install a
+		// home snapshot that predates our in-flight diff and revert
+		// our own writes. Only producer-consumer copies resync from
+		// the home: their gaps are registration races (a push that
+		// predates our registration never reached us and no reply
+		// will ever advance past it), and consumers hold no buffered
+		// writes, so the wholesale install is safe for them.
+		n.C.Add("apply.gap", 1)
+		o.pendApply[seq] = spans
+		if o.meta.Annot == ProducerConsumer && !o.isProducer && o.twin == nil {
+			o.state = Invalid
+			o.genInv++
+			o.mu.Unlock()
+			n.ensureReadable(o) // refetch + alignSeq drains pendApply
+		} else {
+			o.mu.Unlock()
+		}
+	}
+	n.k.Reply(req, nil)
+}
+
+// handleRemRead serves a remote load (read-mostly remote mode, result
+// readers away from the collector). The home tracks the read/write mix
+// to drive the §3.4.1 dynamic decision.
+func (n *Node) handleRemRead(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	off := r.Int()
+	ln := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	checkRange(o, off, ln)
+	o.mu.Lock()
+	data := append([]byte(nil), o.data[off:off+ln]...)
+	o.mu.Unlock()
+	n.C.Add("home.remread", 1)
+	n.k.Reply(req, msg.NewBuilder(8+len(data)).BytesN(data).Bytes())
+
+	if o.meta.Annot != ReadMostly || !o.meta.Opts.Dynamic {
+		return
+	}
+	d := n.dirEntryOf(id)
+	d.mu.Lock()
+	d.reads++
+	switchIt := false
+	o.mu.Lock()
+	if !o.replicated && d.reads >= 32 && d.reads >= 4*(d.writes+1) {
+		o.replicated = true
+		switchIt = true
+	}
+	o.mu.Unlock()
+	d.mu.Unlock()
+	if switchIt {
+		n.C.Add("mode.switch", 1)
+		n.k.MulticastTo(n.allOtherNodes(), kindModeSw,
+			msg.NewBuilder(5).U32(uint32(id)).Bool(true).Bytes())
+	}
+}
+
+// handleRemWrite applies a remote store at the home and, for replicated
+// read-mostly objects, redistributes per the object's update mode.
+func (n *Node) handleRemWrite(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	off := r.Int()
+	data := append([]byte(nil), r.BytesN()...)
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	checkRange(o, off, len(data))
+	o.mu.Lock()
+	copy(o.data[off:], data)
+	o.mu.Unlock()
+	n.C.Add("home.remwrite", 1)
+
+	d := n.dirEntryOf(id)
+	d.mu.Lock()
+	d.writes++
+	d.mu.Unlock()
+
+	seq := n.homeAfterRemoteWrite(id, []memory.Span{{Off: off, Data: data}}, req.From)
+	n.k.Reply(req, msg.NewBuilder(8).U64(seq).Bytes())
+}
+
+// homeAfterRemoteWrite redistributes a write at the home of a
+// replicated read-mostly object: refresh pushes the new bytes to every
+// copy, invalidate drops the copies (§3.4.2). With Options.Dynamic the
+// mode adapts: in invalidate mode, if at least half the dropped copies
+// refetched before the next write, refreshing would have been cheaper,
+// so switch; in refresh mode, probe with an invalidation every 8th
+// update to re-measure.
+func (n *Node) homeAfterRemoteWrite(id memory.ObjectID, spans []memory.Span, from msg.NodeID) uint64 {
+	o := n.mustObj(id)
+	if o.meta.Annot != ReadMostly {
+		return 0
+	}
+	o.mu.Lock()
+	replicated := o.replicated
+	o.mu.Unlock()
+	if !replicated {
+		return 0 // remote-mode: no copies to maintain
+	}
+
+	d := n.dirEntryOf(id)
+	d.relayMu.Lock()
+	defer d.relayMu.Unlock()
+	d.mu.Lock()
+	if !d.updModeSet {
+		d.updMode = o.meta.Opts.Update
+		d.updModeSet = true
+	}
+	if o.meta.Opts.Dynamic {
+		if d.updMode == Invalidate && d.dropped > 0 && d.rereads*2 >= d.dropped {
+			d.updMode = Refresh
+			n.C.Add("mode.switch", 1)
+		}
+	}
+	o.mu.Lock()
+	o.applySeq++
+	seq := o.applySeq
+	o.mu.Unlock()
+	probe := o.meta.Opts.Dynamic && d.updMode == Refresh && seq%8 == 0
+	mode := d.updMode
+	if probe {
+		mode = Invalidate
+	}
+	var members []msg.NodeID
+	for m := range d.copyset {
+		if m != n.id && m != from {
+			members = append(members, m)
+		}
+	}
+	if mode == Invalidate {
+		for _, m := range members {
+			delete(d.copyset, m)
+		}
+		d.dropped = int64(len(members))
+	}
+	d.rereads = 0
+	d.mu.Unlock()
+
+	if len(members) == 0 {
+		return seq
+	}
+	b := msg.NewBuilder(32 + memory.SpanBytes(spans))
+	b.U32(uint32(id)).U64(seq).U8(uint8(mode))
+	if mode == Refresh {
+		memory.EncodeSpans(b, spans)
+	}
+	n.C.Add("home.relay", 1)
+	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !isShutdown(err) {
+		panic(fmt.Sprintf("munin: redistribute object %d: %v", id, err))
+	}
+	return seq
+}
+
+// handleRegCons registers a producer or consumer for a
+// producer-consumer object and returns the current contents + sequence.
+func (n *Node) handleRegCons(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	isProducer := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	d := n.dirEntryOf(id)
+
+	d.mu.Lock()
+	if isProducer {
+		if d.producer >= 0 && d.producer != req.From {
+			d.mu.Unlock()
+			panic(fmt.Sprintf("munin: producer-consumer object %q has two producing nodes (%d and %d)",
+				o.meta.Name, d.producer, req.From))
+		}
+		d.producer = req.From
+	} else {
+		d.copyset[req.From] = true
+	}
+	consumers := make([]msg.NodeID, 0, len(d.copyset))
+	for m := range d.copyset {
+		if m != n.id && m != d.producer {
+			consumers = append(consumers, m)
+		}
+	}
+	producer := d.producer
+	d.mu.Unlock()
+
+	// A new consumer must be known to the producer before its first
+	// read returns, so every subsequent push reaches it. The update is
+	// therefore a Call, acknowledged before we snapshot the contents:
+	// any push that raced the registration lands at the home before
+	// the snapshot and is covered by the consumer's base sequence.
+	if !isProducer && producer >= 0 && producer != req.From {
+		ub := msg.NewBuilder(16)
+		ub.U32(uint32(id)).U32(uint32(len(consumers)))
+		for _, c := range consumers {
+			ub.U32(uint32(c))
+		}
+		if _, err := n.k.Call(producer, kindConsUpd, ub.Bytes()); err != nil && !isShutdown(err) {
+			panic(fmt.Sprintf("munin: consumer-set update for object %d: %v", id, err))
+		}
+	}
+
+	o.mu.Lock()
+	data := append([]byte(nil), o.data...)
+	seq := o.applySeq
+	o.mu.Unlock()
+
+	b := msg.NewBuilder(32 + len(data))
+	b.BytesN(data).U64(seq)
+	if isProducer {
+		b.U32(uint32(len(consumers)))
+		for _, c := range consumers {
+			b.U32(uint32(c))
+		}
+	} else {
+		b.U32(0)
+	}
+	n.k.Reply(req, b.Bytes())
+}
+
+// handleConsUpd refreshes the producer's cached consumer set.
+func (n *Node) handleConsUpd(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	nc := int(r.U32())
+	consumers := make([]msg.NodeID, 0, nc)
+	for i := 0; i < nc; i++ {
+		consumers = append(consumers, msg.NodeID(r.U32()))
+	}
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	o.mu.Lock()
+	o.consumers = consumers
+	o.mu.Unlock()
+	n.k.Reply(req, nil)
+}
+
+// handleEvict removes a node from the copyset after it paged the copy
+// out.
+func (n *Node) handleEvict(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	d := n.dirEntryOf(id)
+	d.mu.Lock()
+	delete(d.copyset, req.From)
+	d.mu.Unlock()
+}
+
+// handleModeSw switches a read-mostly object to replicated mode on this
+// node.
+func (n *Node) handleModeSw(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	id := memory.ObjectID(r.U32())
+	replicated := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	o := n.mustObj(id)
+	o.mu.Lock()
+	o.replicated = replicated
+	o.mu.Unlock()
+}

@@ -1,0 +1,472 @@
+// Package protocol implements Munin's type-specific memory coherence:
+// the shared-object model, the per-object directory, and one coherence
+// mechanism per access-pattern annotation (paper §3.3):
+//
+//	WriteOnce          replication on demand; pageout supported
+//	WriteMany          delayed updates (twin + diff through the DUQ)
+//	ProducerConsumer   eager object movement (direct multicast to consumers)
+//	Migratory          object rides inside lock-transfer messages
+//	Result             buffered writes merged at a single home copy
+//	Private            node-local, no coherence traffic
+//	ReadMostly         remote load/store (§3.3.5 prototype choice),
+//	                   dynamically switchable to replication (§3.4.1)
+//	GeneralRW          Berkeley ownership protocol (dirty sharing)
+//	Conventional       Ivy-like write-invalidate with home write-back —
+//	                   the default when no annotation is given (§3.1)
+//
+// Every node runs one *Node (the paper's per-processor "Munin server").
+// Application threads call Read/Write with their thread's delayed update
+// queue; a miss suspends the thread and runs the protocol's fault
+// handler, mirroring the paper's "suspend the faulting thread and invoke
+// the associated server" discipline at object granularity.
+package protocol
+
+import (
+	"fmt"
+	"sync"
+
+	"munin/internal/cluster"
+	"munin/internal/dlock"
+	"munin/internal/memory"
+	"munin/internal/msg"
+	"munin/internal/stats"
+	"munin/internal/vkernel"
+)
+
+// Annotation is the semantic hint attached to a shared object at
+// allocation — the paper's type-specific declaration.
+type Annotation uint8
+
+// The access-pattern annotations from Section 2 of the paper.
+const (
+	Conventional Annotation = iota // unannotated: Ivy-like default
+	WriteOnce
+	WriteMany
+	ProducerConsumer
+	Migratory
+	Result
+	Private
+	ReadMostly
+	GeneralRW
+)
+
+var annotNames = [...]string{
+	"conventional", "write-once", "write-many", "producer-consumer",
+	"migratory", "result", "private", "read-mostly", "general-rw",
+}
+
+func (a Annotation) String() string {
+	if int(a) < len(annotNames) {
+		return annotNames[a]
+	}
+	return fmt.Sprintf("annotation(%d)", uint8(a))
+}
+
+// UpdateMode selects how a replicated object's copies are brought up to
+// date when it changes (paper §3.4.2).
+type UpdateMode uint8
+
+const (
+	// Refresh propagates the new bytes to every copy.
+	Refresh UpdateMode = iota
+	// Invalidate drops remote copies; they refetch on next access.
+	Invalidate
+)
+
+func (m UpdateMode) String() string {
+	if m == Refresh {
+		return "refresh"
+	}
+	return "invalidate"
+}
+
+// Options tune per-object protocol behaviour beyond the annotation.
+type Options struct {
+	// Home pins the object's home node. -1 (default) hashes the ID.
+	// Result objects should be homed where the collector thread runs.
+	Home msg.NodeID
+	// Lock associates a migratory object with its guarding lock.
+	Lock dlock.LockID
+	// Update selects refresh vs invalidate for replicated write-many
+	// and read-mostly objects. Default Refresh.
+	Update UpdateMode
+	// Dynamic lets the runtime adapt the mechanism from observed
+	// behaviour (§3.4): read-mostly objects switch from remote
+	// load/store to replication when reads dominate.
+	Dynamic bool
+	// ForceReplicated starts a read-mostly object in replicated mode
+	// instead of remote load/store — the static other half of the
+	// §3.4.1 replication-vs-remote comparison.
+	ForceReplicated bool
+	// JoinGap folds diff runs separated by at most this many equal
+	// bytes into one span. Default 0 (exact diffs).
+	JoinGap int
+}
+
+// DefaultOptions returns the zero-configuration options.
+func DefaultOptions() Options { return Options{Home: -1} }
+
+// Meta is an object's cluster-wide metadata, identical on every node.
+type Meta struct {
+	ID    memory.ObjectID
+	Name  string
+	Size  int
+	Annot Annotation
+	Opts  Options
+}
+
+// CopyState is the validity state of a node's local copy.
+type CopyState uint8
+
+const (
+	// Invalid: no usable local copy.
+	Invalid CopyState = iota
+	// Shared: valid for reading (and buffered writing under loose
+	// protocols).
+	Shared
+	// Exclusive: this node owns the object and may write directly
+	// (ownership protocols).
+	Exclusive
+)
+
+func (s CopyState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Shared:
+		return "shared"
+	default:
+		return "exclusive"
+	}
+}
+
+// Obj is one node's view of a shared object.
+type Obj struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	meta Meta
+	data []byte
+	twin []byte // snapshot for delayed-update diffing; nil when clean
+
+	state    CopyState
+	fetching bool // a fetch/ownership request is in flight
+	owning   bool // an ownership request by this node is outstanding
+	// grantPending is set by the home when it has issued an ownership
+	// grant to one of this node's own threads whose inline install has
+	// not yet run. Home-side handlers that grab the local copy
+	// directly must wait it out (the installer is the dispatcher and
+	// needs only o.mu, so the wait cannot deadlock); a mere queued
+	// request (owning set, grantPending clear) must NOT be waited on —
+	// its grant cannot be processed while the waiter holds the
+	// directory lock.
+	grantPending bool
+	genInv       uint64 // bumped on each invalidation (fetch-race detection)
+
+	dirtyOwner bool // Berkeley: this copy is dirty and serves reads
+
+	// Write-many / producer-consumer update ordering: home (or the
+	// producer) stamps sequence numbers; receivers apply in order.
+	applySeq  uint64                   // last update sequence applied
+	pendApply map[uint64][]memory.Span // out-of-order updates parked
+
+	// Producer-consumer producer-side state.
+	consumers  []msg.NodeID // cached consumer set
+	isProducer bool
+	prodSeq    uint64     // producer's outgoing update sequence
+	pushMu     sync.Mutex // serializes eager pushes from this node
+
+	registered bool // consumer has registered with home
+
+	// Read-mostly dynamic mode: true once switched to replication.
+	replicated bool
+}
+
+// Meta returns the object's metadata.
+func (o *Obj) Meta() Meta { return o.meta }
+
+// dirEntry is the home node's directory record for one object.
+type dirEntry struct {
+	mu sync.Mutex
+	// relayMu serializes update redistribution for this object so
+	// receivers observe sequence numbers in order and an acknowledged
+	// relay implies every earlier relay was installed. Held across the
+	// stamp + multicast + ack round, never together with mu.
+	relayMu  sync.Mutex
+	owner    msg.NodeID // ownership protocols; home initially
+	copyset  map[msg.NodeID]bool
+	reads    int64 // remote reads observed (dynamic decisions)
+	writes   int64 // remote writes observed
+	rereads  int64 // reads since last update (invalidate-vs-refresh)
+	dropped  int64 // copies dropped by the last invalidation round
+	producer msg.NodeID
+
+	updMode    UpdateMode // current refresh/invalidate choice
+	updModeSet bool
+}
+
+// Node is the per-processor Munin server.
+type Node struct {
+	k     *vkernel.Kernel
+	locks *dlock.Service
+	id    msg.NodeID
+	nodes int
+
+	mu   sync.Mutex
+	objs map[memory.ObjectID]*Obj
+	dir  map[memory.ObjectID]*dirEntry
+
+	// Counters feeding the experiments: faults, fetches, updates...
+	C stats.Set
+}
+
+// Message kinds (KindCohBase + n). Allocation announces are control
+// traffic (msg.KindPing range), not coherence traffic: the benchmark
+// harness separates one-time setup from steady-state sharing messages.
+const (
+	kindAlloc    = msg.KindPing + 1     // Call: install object metadata (+init data at home)
+	kindRead     = msg.KindCohBase + 1  // Call: fetch a readable copy from home
+	kindWriteOwn = msg.KindCohBase + 2  // Call: acquire exclusive ownership
+	kindInv      = msg.KindCohBase + 3  // Call: invalidate local copy (acked)
+	kindDiff     = msg.KindCohBase + 4  // Send: delayed update diff to home
+	kindFetch    = msg.KindCohBase + 5  // Call: home asks current owner for data
+	kindApply    = msg.KindCohBase + 6  // Send/multicast: apply spans (or invalidate) at copies
+	kindRemRead  = msg.KindCohBase + 7  // Call: remote load (read-mostly, result readers)
+	kindRemWrite = msg.KindCohBase + 8  // Call: remote store (read-mostly)
+	kindRegCons  = msg.KindCohBase + 9  // Call: register as consumer; reply data+seq
+	kindConsUpd  = msg.KindCohBase + 10 // Send: home tells producer the consumer set changed
+	kindEvict    = msg.KindCohBase + 11 // Send: node dropped its copy (pageout)
+	kindModeSw   = msg.KindCohBase + 12 // Send/multicast: dynamic mode switch
+	kindCohMax   = msg.KindCohBase + 0x1f
+)
+
+// fetch sub-modes for kindFetch.
+const (
+	fetchForRead  = 1 // conventional read: owner downgrades, home takes ownership
+	fetchForWrite = 2 // ownership transfer: owner invalidates
+	fetchDirty    = 3 // Berkeley read: owner stays dirty owner
+)
+
+// NewNode creates the Munin server for this node and registers its
+// message handlers. locks may be nil only if no migratory objects are
+// used.
+func NewNode(k *vkernel.Kernel, locks *dlock.Service) *Node {
+	n := &Node{
+		k:     k,
+		locks: locks,
+		id:    k.Node(),
+		nodes: k.Nodes(),
+		objs:  make(map[memory.ObjectID]*Obj),
+		dir:   make(map[memory.ObjectID]*dirEntry),
+	}
+	k.Handle(kindAlloc, kindAlloc, n.dispatch)
+	k.Handle(kindRead, kindCohMax, n.dispatch)
+	return n
+}
+
+// ID returns this node's ID.
+func (n *Node) ID() msg.NodeID { return n.id }
+
+// homeOf returns the home node for an object.
+func (n *Node) homeOf(m *Meta) msg.NodeID {
+	if m.Opts.Home >= 0 {
+		return m.Opts.Home
+	}
+	return cluster.HomeOf(uint64(m.ID), n.nodes)
+}
+
+// obj returns the local view of id, or nil if the object was never
+// allocated (announced) here.
+func (n *Node) obj(id memory.ObjectID) *Obj {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.objs[id]
+}
+
+// mustObj panics if the object is unknown — accessing unallocated
+// shared memory is a program bug, the analogue of a wild pointer.
+func (n *Node) mustObj(id memory.ObjectID) *Obj {
+	o := n.obj(id)
+	if o == nil {
+		panic(fmt.Sprintf("munin: node %d: access to unallocated object %d", n.id, id))
+	}
+	return o
+}
+
+func (n *Node) dirEntryOf(id memory.ObjectID) *dirEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d, ok := n.dir[id]
+	if !ok {
+		d = &dirEntry{owner: n.id, copyset: make(map[msg.NodeID]bool), producer: -1}
+		n.dir[id] = d
+	}
+	return d
+}
+
+// Alloc installs a new shared object cluster-wide. It must be called
+// from single-threaded setup code (the driver), before worker threads
+// touch the object. The initial data lives at the object's home;
+// private objects get a full local copy on every node.
+func (n *Node) Alloc(meta Meta, init []byte) {
+	if meta.Size <= 0 {
+		panic(fmt.Sprintf("munin: alloc %q: size must be positive", meta.Name))
+	}
+	if init != nil && len(init) != meta.Size {
+		panic(fmt.Sprintf("munin: alloc %q: init length %d != size %d", meta.Name, len(init), meta.Size))
+	}
+	if init == nil {
+		init = make([]byte, meta.Size)
+	}
+	payload := encodeAlloc(meta, init)
+	// Synchronous install on every node: setup traffic, acked so no
+	// worker can race an in-flight announce.
+	for i := 0; i < n.nodes; i++ {
+		dst := msg.NodeID(i)
+		if dst == n.id {
+			n.install(meta, init)
+			continue
+		}
+		if _, err := n.k.Call(dst, kindAlloc, payload); err != nil {
+			panic(fmt.Sprintf("munin: alloc %q: announce to node %d: %v", meta.Name, dst, err))
+		}
+	}
+}
+
+// install creates the local view of a newly allocated object.
+func (n *Node) install(meta Meta, init []byte) {
+	o := &Obj{meta: meta, pendApply: make(map[uint64][]memory.Span)}
+	o.cond = sync.NewCond(&o.mu)
+	if meta.Annot == ReadMostly && meta.Opts.ForceReplicated {
+		o.replicated = true
+	}
+	home := n.homeOf(&meta)
+	switch meta.Annot {
+	case Private:
+		// Every node gets its own independent copy.
+		o.data = append([]byte(nil), init...)
+		o.state = Exclusive
+	case Migratory:
+		// Data rides with the lock. Register the transfer hooks; the
+		// seed lives at the lock's home (done by the allocator below).
+		o.data = append([]byte(nil), init...)
+		o.state = Invalid // valid only while the lock is held here
+		if n.locks == nil {
+			panic("munin: migratory object requires a lock service")
+		}
+		n.locks.AttachMigratory(meta.Opts.Lock,
+			func() []byte { return o.migratorySnapshot() },
+			func(b []byte) { o.migratoryInstall(b) })
+	default:
+		if home == n.id {
+			o.data = append([]byte(nil), init...)
+			o.state = Exclusive
+		} else {
+			o.data = make([]byte, meta.Size)
+			o.state = Invalid
+		}
+	}
+	n.mu.Lock()
+	n.objs[meta.ID] = o
+	n.mu.Unlock()
+	if home == n.id {
+		d := n.dirEntryOf(meta.ID)
+		d.mu.Lock()
+		d.owner = n.id
+		d.copyset[n.id] = true
+		d.mu.Unlock()
+		if meta.Annot == Migratory {
+			// Park the initial bytes with the lock so the first
+			// acquirer anywhere receives them.
+			if err := n.locks.SeedMigratory(meta.Opts.Lock, init); err != nil {
+				panic(fmt.Sprintf("munin: seed migratory %q: %v", meta.Name, err))
+			}
+		}
+	}
+}
+
+func (o *Obj) migratorySnapshot() []byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.state = Invalid
+	return append([]byte(nil), o.data...)
+}
+
+func (o *Obj) migratoryInstall(b []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	copy(o.data, b)
+	o.state = Exclusive
+}
+
+// dispatch routes coherence messages to their handlers.
+func (n *Node) dispatch(k *vkernel.Kernel, req *msg.Msg) {
+	switch req.Kind {
+	case kindAlloc:
+		meta, init := decodeAlloc(req.Payload)
+		n.install(meta, init)
+		n.k.Reply(req, nil)
+	case kindRead:
+		n.handleRead(req)
+	case kindWriteOwn:
+		n.handleWriteOwn(req)
+	case kindInv:
+		n.handleInv(req)
+	case kindDiff:
+		n.handleDiff(req)
+	case kindFetch:
+		n.handleFetch(req)
+	case kindApply:
+		n.handleApply(req)
+	case kindRemRead:
+		n.handleRemRead(req)
+	case kindRemWrite:
+		n.handleRemWrite(req)
+	case kindRegCons:
+		n.handleRegCons(req)
+	case kindConsUpd:
+		n.handleConsUpd(req)
+	case kindEvict:
+		n.handleEvict(req)
+	case kindModeSw:
+		n.handleModeSw(req)
+	}
+}
+
+// encodeAlloc packs object metadata + initial contents.
+func encodeAlloc(meta Meta, init []byte) []byte {
+	b := msg.NewBuilder(64 + len(init))
+	b.U32(uint32(meta.ID)).Str(meta.Name).Int(meta.Size).U8(uint8(meta.Annot))
+	b.I64(int64(meta.Opts.Home)).U32(uint32(meta.Opts.Lock)).U8(uint8(meta.Opts.Update))
+	b.Bool(meta.Opts.Dynamic).Bool(meta.Opts.ForceReplicated).Int(meta.Opts.JoinGap)
+	b.BytesN(init)
+	return b.Bytes()
+}
+
+func decodeAlloc(p []byte) (Meta, []byte) {
+	r := msg.NewReader(p)
+	var meta Meta
+	meta.ID = memory.ObjectID(r.U32())
+	meta.Name = r.Str()
+	meta.Size = r.Int()
+	meta.Annot = Annotation(r.U8())
+	meta.Opts.Home = msg.NodeID(r.I64())
+	meta.Opts.Lock = dlock.LockID(r.U32())
+	meta.Opts.Update = UpdateMode(r.U8())
+	meta.Opts.Dynamic = r.Bool()
+	meta.Opts.ForceReplicated = r.Bool()
+	meta.Opts.JoinGap = r.Int()
+	init := append([]byte(nil), r.BytesN()...)
+	if r.Err() != nil {
+		panic(fmt.Sprintf("munin: corrupt alloc payload: %v", r.Err()))
+	}
+	return meta, init
+}
+
+// checkRange panics on out-of-bounds object access.
+func checkRange(o *Obj, off, n int) {
+	if off < 0 || n < 0 || off+n > o.meta.Size {
+		panic(fmt.Sprintf("munin: access [%d,%d) out of range for %q (size %d)",
+			off, off+n, o.meta.Name, o.meta.Size))
+	}
+}

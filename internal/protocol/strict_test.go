@@ -1,0 +1,67 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"munin/internal/duq"
+)
+
+// TestConventionalStrictPhases hammers the Ivy-like protocol with
+// barrier-phased rounds: each round one node writes a fresh value and
+// every node must then read exactly that value. Any stale read is a
+// strict-coherence violation.
+func TestConventionalStrictPhases(t *testing.T) {
+	const nodes = 4
+	const rounds = 60
+	r := newRig(t, nodes)
+	r.alloc(1, "x", 8, Conventional, DefaultOptions(), nil)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, nodes*rounds)
+	// Host-level phase barriers (sync.WaitGroup), so dlock barrier bugs
+	// cannot mask protocol bugs.
+	phases := make([]*sync.WaitGroup, rounds*2)
+	for i := range phases {
+		phases[i] = &sync.WaitGroup{}
+		phases[i].Add(nodes)
+	}
+
+	for node := 0; node < nodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			q := duq.New()
+			buf := make([]byte, 8)
+			for round := 0; round < rounds; round++ {
+				// Each writer writes two consecutive rounds: the
+				// second round catches owners that fail to downgrade
+				// after serving readers (they'd write locally and
+				// leave every reader stale).
+				writer := (round / 2) % nodes
+				if node == writer {
+					buf[7] = byte(round)
+					buf[6] = byte(node)
+					r.nodes[node].Write(q, 1, 0, buf)
+				}
+				phases[round*2].Done()
+				phases[round*2].Wait()
+				got := make([]byte, 8)
+				r.nodes[node].Read(q, 1, 0, got)
+				if got[7] != byte(round) || got[6] != byte(writer) {
+					errs <- fmt.Sprintf("round %d node %d read (%d,%d), want (%d,%d)",
+						round, node, got[6], got[7], writer, round)
+				}
+				phases[round*2+1].Done()
+				phases[round*2+1].Wait()
+			}
+		}(node)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+		break
+	}
+}

@@ -1,0 +1,238 @@
+// Package stats provides low-overhead counters, histograms and table
+// rendering used throughout the Munin runtime and its benchmark harness.
+//
+// All counters are safe for concurrent use; the hot-path cost of an
+// increment is a single atomic add. Snapshots are consistent enough for
+// reporting (individual counters are read atomically; cross-counter skew
+// is acceptable for traffic accounting).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing (or explicitly reset) 64-bit
+// counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Set is a named collection of counters. The zero value is ready to use.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// Counter returns (creating if necessary) the counter with the given name.
+func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Add is shorthand for s.Counter(name).Add(delta).
+func (s *Set) Add(name string, delta int64) { s.Counter(name).Add(delta) }
+
+// Get returns the value of the named counter (zero if it does not exist).
+func (s *Set) Get(name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Snapshot returns a copy of all counter values, keyed by name.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, c := range s.counters {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// Reset zeroes every counter in the set.
+func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counters {
+		c.Reset()
+	}
+}
+
+// Names returns the sorted counter names present in the set.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Histogram is a fixed-bucket histogram of int64 samples, safe for
+// concurrent use. Buckets are defined by their upper bounds; samples
+// greater than the last bound land in an overflow bucket.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	n      atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. It panics if bounds is empty or not strictly ascending.
+func NewHistogram(bounds ...int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	h.max.Store(-1 << 63)               // MinInt64
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (h *Histogram) Min() int64 {
+	if h.n.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observed sample, or 0 with no samples.
+func (h *Histogram) Max() int64 {
+	if h.n.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using
+// bucket upper bounds as representative values.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}
+
+// Buckets returns (bound, count) pairs plus the overflow bucket reported
+// with bound = -1.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	for i := range h.counts {
+		b := Bucket{Count: h.counts[i].Load()}
+		if i < len(h.bounds) {
+			b.UpperBound = h.bounds[i]
+		} else {
+			b.UpperBound = -1
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Bucket is one histogram bucket.
+type Bucket struct {
+	UpperBound int64 // -1 for the overflow bucket
+	Count      int64
+}
+
+func (b Bucket) String() string {
+	if b.UpperBound < 0 {
+		return fmt.Sprintf("(+Inf: %d)", b.Count)
+	}
+	return fmt.Sprintf("(<=%d: %d)", b.UpperBound, b.Count)
+}

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasic(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("after reset = %d, want 0", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSetCreatesAndAccumulates(t *testing.T) {
+	var s Set
+	s.Add("msgs", 3)
+	s.Add("msgs", 4)
+	s.Add("bytes", 100)
+	if got := s.Get("msgs"); got != 7 {
+		t.Fatalf("msgs = %d, want 7", got)
+	}
+	if got := s.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d, want 0", got)
+	}
+	snap := s.Snapshot()
+	if snap["bytes"] != 100 || snap["msgs"] != 7 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "bytes" || names[1] != "msgs" {
+		t.Fatalf("names = %v", names)
+	}
+	s.Reset()
+	if s.Get("msgs") != 0 || s.Get("bytes") != 0 {
+		t.Fatalf("reset failed: %v", s.Snapshot())
+	}
+}
+
+func TestSetConcurrentSameName(t *testing.T) {
+	var s Set
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Add("x", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("x"); got != 4000 {
+		t.Fatalf("x = %d, want 4000", got)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []int64{1, 5, 10, 11, 100, 999, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 5000 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	b := h.Buckets()
+	wantCounts := []int64{3, 2, 1, 1}
+	if len(b) != 4 {
+		t.Fatalf("buckets = %v", b)
+	}
+	for i, w := range wantCounts {
+		if b[i].Count != w {
+			t.Fatalf("bucket %d (%s) count = %d, want %d", i, b[i], b[i].Count, w)
+		}
+	}
+	if got := h.Sum(); got != 1+5+10+11+100+999+5000 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 4, 8, 16, 32)
+	for i := int64(1); i <= 32; i++ {
+		h.Observe(i)
+	}
+	// Median of 1..32 should land at a mid-to-upper bucket bound; the
+	// estimator returns bucket upper bounds, so allow [8,32].
+	q := h.Quantile(0.5)
+	if q < 8 || q > 32 {
+		t.Fatalf("median estimate = %d, want within [8,32]", q)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatalf("quantiles not monotone")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]int64{{}, {5, 5}, {5, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestHistogramMeanProperty(t *testing.T) {
+	// Property: Mean()*Count() == Sum() (within float error) and
+	// Min() <= Mean() <= Max() for any non-empty sample set.
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(16, 256, 4096, 65536)
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		mean := h.Mean()
+		if mean < float64(h.Min()) || mean > float64(h.Max()) {
+			return false
+		}
+		diff := mean*float64(h.Count()) - float64(h.Sum())
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(10, 100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for j := int64(0); j < 100; j++ {
+				h.Observe(base + j)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if h.Count() != 800 {
+		t.Fatalf("count = %d, want 800", h.Count())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Traffic", "app", "msgs", "bytes")
+	tab.AddRow("matmul", 10, 2048)
+	tab.AddRow("life", 7, 99)
+	out := tab.String()
+	if !strings.Contains(out, "Traffic") || !strings.Contains(out, "matmul") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d, want 2", tab.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tab := NewTable("", "x")
+	tab.AddRow(3.14159)
+	if !strings.Contains(tab.String(), "3.14") {
+		t.Fatalf("float not formatted: %q", tab.String())
+	}
+}
+
+func ExampleTable() {
+	tab := NewTable("demo", "k", "v")
+	tab.AddRow("a", 1)
+	fmt.Print(tab.String())
+	// Output:
+	// demo
+	// k  v
+	// -  -
+	// a  1
+}

@@ -1,0 +1,342 @@
+package study
+
+import (
+	"sort"
+
+	"munin/internal/stats"
+)
+
+// ObjectReport is the classification of one shared object.
+type ObjectReport struct {
+	Name     string
+	Class    Class
+	Reads    int64
+	Writes   int64
+	NThreads int // distinct threads that touched it
+}
+
+// Report is the sharing-study result for one program run.
+type Report struct {
+	Program string
+	Objects []ObjectReport
+	// ByClassObjects / ByClassAccesses count objects and accesses per
+	// class.
+	ByClassObjects  map[Class]int
+	ByClassAccesses map[Class]int64
+	// Reads/Writes totals, split at the initialization boundary (the
+	// first synchronization operation).
+	InitReads, InitWrites     int64
+	SteadyReads, SteadyWrites int64
+	// MeanDataGap / MeanSyncGap are the mean logical-time gaps between
+	// consecutive accesses to the same data object vs the same
+	// synchronization object — the paper's "latency between accesses
+	// to synchronization objects is significantly higher".
+	MeanDataGap float64
+	MeanSyncGap float64
+	SyncOps     int64
+}
+
+// Classify analyzes the trace and produces the study report.
+func (t *Tracer) Classify(program string) *Report {
+	rep := &Report{
+		Program:         program,
+		ByClassObjects:  make(map[Class]int),
+		ByClassAccesses: make(map[Class]int64),
+	}
+	initEnd := t.initEnd.Load()
+	if initEnd >= int64(1)<<62 {
+		// The program never synchronized (e.g. pure fork/join matmul):
+		// there is no traced initialization phase — Alloc-side init
+		// happens before tracing — so everything is steady state.
+		initEnd = 0
+	}
+
+	t.mu.Lock()
+	objs := append([]*objTrace(nil), t.objs...)
+	syncOps := append([]syncOp(nil), t.syncOps...)
+	t.mu.Unlock()
+
+	var dataGapSum, dataGapN float64
+	for _, o := range objs {
+		if o == nil {
+			continue
+		}
+		o.mu.Lock()
+		accs := append([]access(nil), o.accesses...)
+		o.mu.Unlock()
+		if len(accs) == 0 {
+			continue
+		}
+		sort.Slice(accs, func(i, j int) bool { return accs[i].ord < accs[j].ord })
+		or := classifyObject(o.name, accs)
+		rep.Objects = append(rep.Objects, or)
+		rep.ByClassObjects[or.Class]++
+		rep.ByClassAccesses[or.Class] += or.Reads + or.Writes
+		for _, a := range accs {
+			if a.ord < initEnd {
+				if a.write {
+					rep.InitWrites++
+				} else {
+					rep.InitReads++
+				}
+			} else {
+				if a.write {
+					rep.SteadyWrites++
+				} else {
+					rep.SteadyReads++
+				}
+			}
+		}
+		for i := 1; i < len(accs); i++ {
+			dataGapSum += float64(accs[i].ord - accs[i-1].ord)
+			dataGapN++
+		}
+	}
+	if dataGapN > 0 {
+		rep.MeanDataGap = dataGapSum / dataGapN
+	}
+
+	// Sync gaps: per synchronization object.
+	byID := map[uint64][]int64{}
+	for _, s := range syncOps {
+		byID[s.id] = append(byID[s.id], s.ord)
+		rep.SyncOps++
+	}
+	var syncGapSum, syncGapN float64
+	for _, ords := range byID {
+		sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+		for i := 1; i < len(ords); i++ {
+			syncGapSum += float64(ords[i] - ords[i-1])
+			syncGapN++
+		}
+	}
+	if syncGapN > 0 {
+		rep.MeanSyncGap = syncGapSum / syncGapN
+	}
+	sort.Slice(rep.Objects, func(i, j int) bool { return rep.Objects[i].Name < rep.Objects[j].Name })
+	return rep
+}
+
+// classifyObject applies the paper's category definitions to one
+// object's ordered access trace.
+func classifyObject(name string, accs []access) ObjectReport {
+	var reads, writes int64
+	threads := map[int]bool{}
+	writers := map[int]bool{}
+	readers := map[int]bool{}
+	for _, a := range accs {
+		threads[a.thread] = true
+		if a.write {
+			writes++
+			writers[a.thread] = true
+		} else {
+			reads++
+			readers[a.thread] = true
+		}
+	}
+	or := ObjectReport{Name: name, Reads: reads, Writes: writes, NThreads: len(threads)}
+
+	switch {
+	case len(threads) == 1:
+		// "Private objects are shared data objects that are only
+		// accessed by a single thread."
+		or.Class = ClassPrivate
+
+	case writes == 0 || allWritesPrecedeForeignAccess(accs):
+		// "Write-once objects are read but never written after
+		// initialization."
+		or.Class = ClassWriteOnce
+
+	case len(readers) == 1 && len(writers) > 1 && writesAllPrecedeReads(accs):
+		// "Result objects collect results: once they are written,
+		// they are only read by a single thread" — many writers, one
+		// reading (collector) thread, all writes before the reads.
+		// The collector may itself have contributed a slice.
+		or.Class = ClassResult
+
+	case len(writers) == 1 && othersRead(readers, writers):
+		// "Producer-consumer objects are written (produced) by one
+		// thread and read (consumed) by a fixed set of other threads."
+		// The producer may also re-read its own product; what matters
+		// is the single producer and the non-producer consumer set.
+		or.Class = ClassProducerConsumer
+
+	case isMigratory(accs):
+		// "Migratory objects are accessed in phases, where each phase
+		// corresponds to a run of accesses by a single thread."
+		or.Class = ClassMigratory
+
+	case writes > 0 && reads >= 8*writes:
+		// "Read-mostly objects are read significantly more frequently
+		// than they are written."
+		or.Class = ClassReadMostly
+
+	case len(writers) > 1 && interleavedWrites(accs):
+		// "Write-many objects are frequently modified by multiple
+		// threads between synchronization points."
+		or.Class = ClassWriteMany
+
+	default:
+		or.Class = ClassGeneralRW
+	}
+
+	return or
+}
+
+// allWritesPrecedeForeignAccess reports whether every write happened
+// before any access by a thread other than the initializing writer —
+// the write-once pattern with explicit initialization.
+func allWritesPrecedeForeignAccess(accs []access) bool {
+	writer := -1
+	firstForeign := int64(1) << 62
+	var lastWrite int64
+	for _, a := range accs {
+		if a.write {
+			if writer == -1 {
+				writer = a.thread
+			}
+			if a.thread != writer {
+				return false // multiple writing threads: not write-once
+			}
+			if a.ord > lastWrite {
+				lastWrite = a.ord
+			}
+		}
+	}
+	if writer == -1 {
+		return true
+	}
+	for _, a := range accs {
+		if a.thread != writer && a.ord < firstForeign {
+			firstForeign = a.ord
+		}
+	}
+	return lastWrite < firstForeign
+}
+
+// writesAllPrecedeReads reports whether every write's order stamp is
+// below every read's (a strict produce-then-collect lifecycle).
+func writesAllPrecedeReads(accs []access) bool {
+	var lastWrite int64 = -1
+	firstRead := int64(1) << 62
+	for _, a := range accs {
+		if a.write {
+			if a.ord > lastWrite {
+				lastWrite = a.ord
+			}
+		} else if a.ord < firstRead {
+			firstRead = a.ord
+		}
+	}
+	return lastWrite < firstRead
+}
+
+// othersRead reports whether at least one non-writer thread reads.
+func othersRead(readers, writers map[int]bool) bool {
+	for r := range readers {
+		if !writers[r] {
+			return true
+		}
+	}
+	return false
+}
+
+// isMigratory detects phase behaviour: consecutive accesses group into
+// runs by a single thread, runs contain both reads and writes, and the
+// object moves between at least two threads with long runs relative to
+// the number of moves.
+func isMigratory(accs []access) bool {
+	if len(accs) < 4 {
+		return false
+	}
+	runs := 0
+	curThread := -1
+	runHasRead, runHasWrite := false, false
+	mixedRuns := 0
+	for _, a := range accs {
+		if a.thread != curThread {
+			if curThread != -1 && runHasRead && runHasWrite {
+				mixedRuns++
+			}
+			runs++
+			curThread = a.thread
+			runHasRead, runHasWrite = false, false
+		}
+		if a.write {
+			runHasWrite = true
+		} else {
+			runHasRead = true
+		}
+	}
+	if runHasRead && runHasWrite {
+		mixedRuns++
+	}
+	avgRun := float64(len(accs)) / float64(runs)
+	return avgRun >= 2 && mixedRuns*2 >= runs
+}
+
+// interleavedWrites reports whether writes from different threads
+// interleave over the trace (as opposed to strictly phased single-writer
+// episodes).
+func interleavedWrites(accs []access) bool {
+	lastWriter := -1
+	switches := 0
+	for _, a := range accs {
+		if !a.write {
+			continue
+		}
+		if lastWriter != -1 && a.thread != lastWriter {
+			switches++
+		}
+		lastWriter = a.thread
+	}
+	return switches >= 1
+}
+
+// Table renders the per-class summary the way the paper's study reports
+// it: share of objects and share of accesses per category, plus the
+// read/write split and the sync-latency observation.
+func (r *Report) Table() string {
+	tab := stats.NewTable("Sharing study: "+r.Program,
+		"class", "objects", "accesses", "%accesses")
+	var total int64
+	for _, n := range r.ByClassAccesses {
+		total += n
+	}
+	order := []Class{ClassWriteOnce, ClassWriteMany, ClassProducerConsumer,
+		ClassMigratory, ClassResult, ClassPrivate, ClassReadMostly, ClassGeneralRW}
+	for _, cl := range order {
+		if r.ByClassObjects[cl] == 0 {
+			continue
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.ByClassAccesses[cl]) / float64(total)
+		}
+		tab.AddRow(string(cl), r.ByClassObjects[cl], r.ByClassAccesses[cl], pct)
+	}
+	return tab.String()
+}
+
+// ReadFraction returns the fraction of steady-state (post-init)
+// accesses that are reads.
+func (r *Report) ReadFraction() float64 {
+	tot := r.SteadyReads + r.SteadyWrites
+	if tot == 0 {
+		return 0
+	}
+	return float64(r.SteadyReads) / float64(tot)
+}
+
+// GeneralRWShare returns the fraction of all accesses classified as
+// general read-write — the paper's key "very few" claim.
+func (r *Report) GeneralRWShare() float64 {
+	var total int64
+	for _, n := range r.ByClassAccesses {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ByClassAccesses[ClassGeneralRW]) / float64(total)
+}

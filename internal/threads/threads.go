@@ -1,0 +1,91 @@
+// Package threads is the Presto-like thread runtime: lightweight threads
+// placed on cluster nodes, a fork/join SPMD driver, and per-thread
+// context. Presto provided "parallelism (lightweight processes) and
+// synchronization" for the paper's study programs; goroutines play the
+// lightweight-process role here, with explicit node placement so the DSM
+// layer knows which node every access comes from.
+package threads
+
+import (
+	"fmt"
+	"sync"
+
+	"munin/internal/msg"
+)
+
+// Thread identifies one running thread and its placement.
+type Thread struct {
+	// ID is the dense thread index, 0..nthreads-1.
+	ID int
+	// Node is the processor the thread is placed on.
+	Node msg.NodeID
+	// NThreads is the total number of threads in the SPMD team.
+	NThreads int
+}
+
+// Placement maps thread IDs to nodes.
+type Placement func(threadID, nthreads, nodes int) msg.NodeID
+
+// RoundRobin places thread i on node i mod nodes — the default placement,
+// matching how the study programs spread threads over processors.
+func RoundRobin(threadID, _, nodes int) msg.NodeID {
+	return msg.NodeID(threadID % nodes)
+}
+
+// Blocked places threads in contiguous blocks: with T threads and N
+// nodes, threads [k*T/N, (k+1)*T/N) run on node k.
+func Blocked(threadID, nthreads, nodes int) msg.NodeID {
+	if nthreads < nodes {
+		return msg.NodeID(threadID % nodes)
+	}
+	per := (nthreads + nodes - 1) / nodes
+	return msg.NodeID(threadID / per)
+}
+
+// SPMD runs body on nthreads threads placed over nodes processors and
+// waits for all of them. A nil placement means RoundRobin. Panics in a
+// thread body are re-raised on the caller after all threads finish or
+// unwind, so tests fail loudly rather than deadlock.
+func SPMD(nodes, nthreads int, place Placement, body func(t *Thread)) {
+	if nodes <= 0 || nthreads <= 0 {
+		panic(fmt.Sprintf("threads: bad SPMD shape nodes=%d nthreads=%d", nodes, nthreads))
+	}
+	if place == nil {
+		place = RoundRobin
+	}
+	var wg sync.WaitGroup
+	panics := make(chan any, nthreads)
+	for i := 0; i < nthreads; i++ {
+		wg.Add(1)
+		t := &Thread{ID: i, Node: place(i, nthreads, nodes), NThreads: nthreads}
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			body(t)
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// Partition splits the half-open range [0, n) into nthreads contiguous
+// chunks and returns thread id's chunk. Standard loop-partitioning helper
+// used by the study programs.
+func Partition(n, nthreads, id int) (lo, hi int) {
+	per := n / nthreads
+	rem := n % nthreads
+	lo = id*per + min(id, rem)
+	hi = lo + per
+	if id < rem {
+		hi++
+	}
+	return lo, hi
+}

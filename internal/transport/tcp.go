@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"munin/internal/msg"
+)
+
+// TCPNetwork runs the same message abstraction over real loopback
+// sockets. Each node pair shares one TCP connection; frames are
+// length-prefixed. It exists to demonstrate the runtime is not tied to
+// the in-process simulation and to exercise the codec against a real
+// byte stream.
+type TCPNetwork struct {
+	eps    []*tcpEndpoint
+	stats  *Stats
+	cost   CostModel
+	ln     net.Listener
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPNetwork creates an n-node network over loopback TCP. All nodes
+// live in this process but every message traverses the OS socket layer.
+func NewTCPNetwork(n int, cost CostModel) (*TCPNetwork, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: need at least one node")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	tn := &TCPNetwork{stats: newStats(n), cost: cost, ln: ln}
+	tn.eps = make([]*tcpEndpoint, n)
+	for i := range tn.eps {
+		tn.eps[i] = &tcpEndpoint{net: tn, node: msg.NodeID(i), q: newQueue()}
+	}
+
+	// Accept loop: each inbound connection carries frames from one
+	// sender; frames are routed to destination queues by header.
+	tn.wg.Add(1)
+	go func() {
+		defer tn.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			tn.wg.Add(1)
+			go func() {
+				defer tn.wg.Done()
+				tn.serveConn(conn)
+			}()
+		}
+	}()
+
+	// Each node dials one outgoing connection used for all its sends.
+	for i := range tn.eps {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			tn.Close()
+			return nil, err
+		}
+		tn.eps[i].conn = conn
+		tn.eps[i].w = bufio.NewWriter(conn)
+	}
+	return tn, nil
+}
+
+// serveConn reads frames from one sender connection and routes them to
+// destination queues.
+func (tn *TCPNetwork) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	var lenbuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenbuf[:])
+		if n > 1<<30 {
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return
+		}
+		m, err := msg.Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		if int(m.To) >= len(tn.eps) || m.To < 0 {
+			continue
+		}
+		if tn.eps[m.To].q.push(frame) == nil {
+			tn.stats.delivered(m.To)
+		}
+	}
+}
+
+// Endpoint implements Network.
+func (tn *TCPNetwork) Endpoint(id msg.NodeID) Endpoint { return tn.eps[id] }
+
+// Nodes implements Network.
+func (tn *TCPNetwork) Nodes() int { return len(tn.eps) }
+
+// Stats implements Network.
+func (tn *TCPNetwork) Stats() *Stats { return tn.stats }
+
+// Multicast falls back to unicast sends (no hardware multicast on TCP),
+// charging one wire message per member — exactly the penalty the paper
+// notes for refresh without multicast support.
+func (tn *TCPNetwork) Multicast(m *msg.Msg, members []msg.NodeID) error {
+	for _, dst := range members {
+		cp := *m
+		cp.To = dst
+		if err := tn.eps[m.From].Send(&cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements Network.
+func (tn *TCPNetwork) Close() error {
+	tn.mu.Lock()
+	if tn.closed {
+		tn.mu.Unlock()
+		return nil
+	}
+	tn.closed = true
+	tn.mu.Unlock()
+	tn.ln.Close()
+	for _, ep := range tn.eps {
+		ep.q.close()
+		ep.mu.Lock()
+		if ep.conn != nil {
+			ep.conn.Close()
+		}
+		ep.mu.Unlock()
+	}
+	tn.wg.Wait()
+	return nil
+}
+
+type tcpEndpoint struct {
+	net  *TCPNetwork
+	node msg.NodeID
+	q    *queue
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+func (e *tcpEndpoint) Node() msg.NodeID { return e.node }
+
+func (e *tcpEndpoint) Send(m *msg.Msg) error {
+	m.From = e.node
+	frame := m.Marshal()
+	e.net.stats.charge(m, e.net.cost, e.node)
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(frame)))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conn == nil {
+		return ErrClosed
+	}
+	if _, err := e.w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(frame); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+func (e *tcpEndpoint) Recv() (*msg.Msg, error) {
+	buf, err := e.q.pop()
+	if err != nil {
+		return nil, err
+	}
+	return msg.Unmarshal(buf)
+}

@@ -1,0 +1,232 @@
+// Package transport provides the message-passing substrate the simulated
+// cluster runs on. It replaces the paper's Ethernet-of-SUN-workstations:
+// nodes share nothing and exchange only serialized messages, so every
+// byte of coherence traffic crosses an explicit, counted boundary.
+//
+// Two implementations are provided:
+//
+//   - ChanNetwork: in-process, one goroutine-safe queue per node. This is
+//     the default substrate for experiments; it is deterministic-enough,
+//     fast, and charges every message against a configurable cost model
+//     (per-message latency + per-byte bandwidth) accumulated as modeled
+//     network time rather than slept, so benchmarks stay fast.
+//   - TCPNetwork: real sockets over loopback (package net), used to
+//     demonstrate that the runtime's messaging layer works over an actual
+//     network stack.
+//
+// Both count messages and bytes per node and per traffic class; the
+// benchmark harness reads these counters to regenerate the paper's
+// traffic comparisons.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"munin/internal/msg"
+	"munin/internal/stats"
+)
+
+// ErrClosed is returned by operations on a closed endpoint or network.
+var ErrClosed = errors.New("transport: closed")
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// Node returns the node this endpoint belongs to.
+	Node() msg.NodeID
+	// Send transmits m to m.To. It never blocks on the receiver
+	// (queues are effectively unbounded); it fails only if the
+	// network is closed or the destination does not exist.
+	Send(m *msg.Msg) error
+	// Recv blocks until a message arrives or the endpoint is closed.
+	Recv() (*msg.Msg, error)
+}
+
+// Network connects a fixed set of nodes, 0..Nodes()-1.
+type Network interface {
+	// Endpoint returns node n's endpoint. The same Endpoint is
+	// returned on every call.
+	Endpoint(n msg.NodeID) Endpoint
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Multicast delivers m to every member. Implementations that
+	// model hardware multicast (ChanNetwork) charge it as a single
+	// wire message; others fall back to unicast.
+	Multicast(m *msg.Msg, members []msg.NodeID) error
+	// Stats returns the network's traffic accounting.
+	Stats() *Stats
+	// Close shuts the network down; blocked Recv calls return ErrClosed.
+	Close() error
+}
+
+// CostModel charges each message with a modeled cost. The default models
+// a 10 Mbit/s Ethernet with 1 ms small-message latency — the class of
+// network the paper's prototype targeted.
+type CostModel struct {
+	// LatencyNs is the fixed per-message cost in nanoseconds.
+	LatencyNs int64
+	// NsPerByte is the per-byte cost in nanoseconds
+	// (10 Mbit/s = 1.25 MB/s ≈ 800 ns/byte).
+	NsPerByte int64
+}
+
+// DefaultCostModel approximates the 1990 prototype network: 1 ms latency,
+// 10 Mbit/s bandwidth.
+func DefaultCostModel() CostModel {
+	return CostModel{LatencyNs: 1_000_000, NsPerByte: 800}
+}
+
+// Cost returns the modeled transmission time for a message of size bytes.
+func (c CostModel) Cost(size int) int64 {
+	return c.LatencyNs + c.NsPerByte*int64(size)
+}
+
+// Stats accumulates traffic accounting for a network.
+type Stats struct {
+	msgs      atomic.Int64
+	bytes     atomic.Int64
+	modeledNs atomic.Int64
+	perNode   []nodeStats
+	byClass   stats.Set
+}
+
+type nodeStats struct {
+	sent, recvd, sentBytes atomic.Int64
+}
+
+func newStats(n int) *Stats {
+	return &Stats{perNode: make([]nodeStats, n)}
+}
+
+// Messages returns the total number of wire messages sent.
+func (s *Stats) Messages() int64 { return s.msgs.Load() }
+
+// Bytes returns the total number of wire bytes sent.
+func (s *Stats) Bytes() int64 { return s.bytes.Load() }
+
+// ModeledNetworkNs returns the accumulated modeled network time in
+// nanoseconds under the network's cost model.
+func (s *Stats) ModeledNetworkNs() int64 { return s.modeledNs.Load() }
+
+// NodeSent returns the number of messages node n has sent.
+func (s *Stats) NodeSent(n msg.NodeID) int64 { return s.perNode[n].sent.Load() }
+
+// NodeReceived returns the number of messages node n has received.
+func (s *Stats) NodeReceived(n msg.NodeID) int64 { return s.perNode[n].recvd.Load() }
+
+// NodeSentBytes returns the number of bytes node n has sent.
+func (s *Stats) NodeSentBytes(n msg.NodeID) int64 { return s.perNode[n].sentBytes.Load() }
+
+// ByClass returns a snapshot of per-class (kind-range) message counts.
+func (s *Stats) ByClass() map[string]int64 { return s.byClass.Snapshot() }
+
+// Reset zeroes all counters. Callers must ensure the network is quiescent.
+func (s *Stats) Reset() {
+	s.msgs.Store(0)
+	s.bytes.Store(0)
+	s.modeledNs.Store(0)
+	for i := range s.perNode {
+		s.perNode[i].sent.Store(0)
+		s.perNode[i].recvd.Store(0)
+		s.perNode[i].sentBytes.Store(0)
+	}
+	s.byClass.Reset()
+}
+
+// ClassOf maps a message kind to a human-readable traffic class used in
+// per-class accounting.
+func ClassOf(k msg.Kind) string {
+	switch {
+	case k >= msg.KindAppBase:
+		return "app"
+	case k >= msg.KindSyncBase:
+		return "sync"
+	case k >= msg.KindIvyBase:
+		return "ivy"
+	case k >= msg.KindCohBase:
+		return "coherence"
+	case k >= msg.KindLockBase:
+		return "lock"
+	default:
+		return "control"
+	}
+}
+
+func (s *Stats) charge(m *msg.Msg, cost CostModel, from msg.NodeID) {
+	size := m.WireSize()
+	s.msgs.Add(1)
+	s.bytes.Add(int64(size))
+	s.modeledNs.Add(cost.Cost(size))
+	if int(from) < len(s.perNode) && from >= 0 {
+		s.perNode[from].sent.Add(1)
+		s.perNode[from].sentBytes.Add(int64(size))
+	}
+	s.byClass.Add(ClassOf(m.Kind), 1)
+	s.byClass.Add(ClassOf(m.Kind)+".bytes", int64(size))
+}
+
+// ClassMessages returns the message count for one traffic class.
+func (s *Stats) ClassMessages(class string) int64 { return s.byClass.Get(class) }
+
+// ClassBytes returns the byte count for one traffic class.
+func (s *Stats) ClassBytes(class string) int64 { return s.byClass.Get(class + ".bytes") }
+
+func (s *Stats) delivered(to msg.NodeID) {
+	if int(to) < len(s.perNode) && to >= 0 {
+		s.perNode[to].recvd.Add(1)
+	}
+}
+
+// String summarizes total traffic.
+func (s *Stats) String() string {
+	return fmt.Sprintf("msgs=%d bytes=%d modeled=%.3fms",
+		s.Messages(), s.Bytes(), float64(s.ModeledNetworkNs())/1e6)
+}
+
+// queue is an unbounded MPSC message queue with blocking receive.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  [][]byte
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(b []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, b)
+	q.cond.Signal()
+	return nil
+}
+
+func (q *queue) pop() ([]byte, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, ErrClosed
+	}
+	b := q.items[0]
+	q.items = q.items[1:]
+	return b, nil
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"munin/internal/msg"
+)
+
+func testNetworks(t *testing.T, n int) map[string]Network {
+	t.Helper()
+	nets := map[string]Network{
+		"chan": NewChanNetwork(n, CostModel{}),
+	}
+	tcp, err := NewTCPNetwork(n, CostModel{})
+	if err != nil {
+		t.Fatalf("tcp network: %v", err)
+	}
+	nets["tcp"] = tcp
+	return nets
+}
+
+func TestSendRecvBothTransports(t *testing.T) {
+	for name, net := range testNetworks(t, 3) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			m := &msg.Msg{Kind: msg.KindPing, To: 2, Seq: 7, Payload: []byte("hi")}
+			if err := net.Endpoint(0).Send(m); err != nil {
+				t.Fatal(err)
+			}
+			got, err := net.Endpoint(2).Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.From != 0 || got.Seq != 7 || string(got.Payload) != "hi" {
+				t.Fatalf("got %v", got)
+			}
+		})
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	net := NewChanNetwork(2, CostModel{})
+	defer net.Close()
+	if err := net.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := net.Endpoint(1).Recv()
+	if err != nil || got.From != 1 {
+		t.Fatalf("self send: %v %v", got, err)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	net := NewChanNetwork(2, CostModel{})
+	defer net.Close()
+	if err := net.Endpoint(0).Send(&msg.Msg{To: 9}); err == nil {
+		t.Fatal("send to unknown node succeeded")
+	}
+	if err := net.Endpoint(0).Send(&msg.Msg{To: -1}); err == nil {
+		t.Fatal("send to negative node succeeded")
+	}
+}
+
+func TestRecvAfterCloseReturnsErrClosed(t *testing.T) {
+	for name, net := range testNetworks(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() {
+				_, err := net.Endpoint(1).Recv()
+				done <- err
+			}()
+			net.Close()
+			if err := <-done; !errors.Is(err, ErrClosed) {
+				t.Fatalf("err = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestFIFOPerSenderReceiver(t *testing.T) {
+	for name, net := range testNetworks(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			const n = 200
+			for i := 0; i < n; i++ {
+				m := &msg.Msg{Kind: msg.KindPing, To: 1, Seq: uint64(i)}
+				if err := net.Endpoint(0).Send(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				got, err := net.Endpoint(1).Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Seq != uint64(i) {
+					t.Fatalf("out of order: got seq %d want %d", got.Seq, i)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	for name, net := range testNetworks(t, 5) {
+		t.Run(name, func(t *testing.T) {
+			defer net.Close()
+			const per = 100
+			var wg sync.WaitGroup
+			for s := 1; s < 5; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m := &msg.Msg{Kind: msg.KindPing, To: 0, Seq: uint64(i)}
+						if err := net.Endpoint(msg.NodeID(s)).Send(m); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(s)
+			}
+			counts := make(map[msg.NodeID]int)
+			for i := 0; i < 4*per; i++ {
+				got, err := net.Endpoint(0).Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[got.From]++
+			}
+			wg.Wait()
+			for s := msg.NodeID(1); s < 5; s++ {
+				if counts[s] != per {
+					t.Fatalf("node %d delivered %d, want %d", s, counts[s], per)
+				}
+			}
+		})
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	net := NewChanNetwork(2, DefaultCostModel())
+	defer net.Close()
+	m := &msg.Msg{Kind: msg.KindCohBase, To: 1, Payload: make([]byte, 100)}
+	size := int64(m.WireSize())
+	if err := net.Endpoint(0).Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Endpoint(1).Recv(); err != nil {
+		t.Fatal(err)
+	}
+	s := net.Stats()
+	if s.Messages() != 1 || s.Bytes() != size {
+		t.Fatalf("stats = %v, want 1 msg %d bytes", s, size)
+	}
+	if s.NodeSent(0) != 1 || s.NodeReceived(1) != 1 || s.NodeSentBytes(0) != size {
+		t.Fatalf("per-node stats wrong: sent=%d recvd=%d bytes=%d",
+			s.NodeSent(0), s.NodeReceived(1), s.NodeSentBytes(0))
+	}
+	want := DefaultCostModel().Cost(int(size))
+	if s.ModeledNetworkNs() != want {
+		t.Fatalf("modeled = %d, want %d", s.ModeledNetworkNs(), want)
+	}
+	if s.ByClass()["coherence"] != 1 {
+		t.Fatalf("by-class = %v", s.ByClass())
+	}
+	s.Reset()
+	if s.Messages() != 0 || s.Bytes() != 0 || s.ModeledNetworkNs() != 0 {
+		t.Fatalf("reset failed: %v", s)
+	}
+}
+
+func TestMulticastChargedOnceOnChan(t *testing.T) {
+	net := NewChanNetwork(4, CostModel{})
+	defer net.Close()
+	m := &msg.Msg{Kind: msg.KindCohBase, From: 0, Payload: []byte("update")}
+	if err := net.Multicast(m, []msg.NodeID{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Hardware multicast: one wire message, three deliveries.
+	if got := net.Stats().Messages(); got != 1 {
+		t.Fatalf("multicast charged %d messages, want 1", got)
+	}
+	for _, n := range []msg.NodeID{1, 2, 3} {
+		got, err := net.Endpoint(n).Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got.Payload) != "update" || got.Flags&msg.FlagMulticast == 0 {
+			t.Fatalf("node %d got %v", n, got)
+		}
+	}
+}
+
+func TestMulticastUnicastFallbackOnTCP(t *testing.T) {
+	tcp, err := NewTCPNetwork(3, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	m := &msg.Msg{Kind: msg.KindCohBase, From: 0, Payload: []byte("u")}
+	if err := tcp.Multicast(m, []msg.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []msg.NodeID{1, 2} {
+		if _, err := tcp.Endpoint(n).Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tcp.Stats().Messages(); got != 2 {
+		t.Fatalf("tcp multicast charged %d messages, want 2 (unicast fallback)", got)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{LatencyNs: 1000, NsPerByte: 2}
+	if got := c.Cost(100); got != 1200 {
+		t.Fatalf("cost = %d, want 1200", got)
+	}
+	if DefaultCostModel().Cost(0) <= 0 {
+		t.Fatal("default cost model has no latency")
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[msg.Kind]string{
+		msg.KindPing:         "control",
+		msg.KindLockBase + 1: "lock",
+		msg.KindCohBase:      "coherence",
+		msg.KindIvyBase + 5:  "ivy",
+		msg.KindSyncBase:     "sync",
+		msg.KindAppBase + 2:  "app",
+	}
+	for k, want := range cases {
+		if got := ClassOf(k); got != want {
+			t.Errorf("ClassOf(%#x) = %q, want %q", uint16(k), got, want)
+		}
+	}
+}
+
+func TestNewChanNetworkPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 nodes")
+		}
+	}()
+	NewChanNetwork(0, CostModel{})
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	tcp, err := NewTCPNetwork(2, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	m := &msg.Msg{Kind: msg.KindPing, To: 1, Payload: payload}
+	if err := tcp.Endpoint(0).Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tcp.Endpoint(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != len(payload) {
+		t.Fatalf("len = %d, want %d", len(got.Payload), len(payload))
+	}
+	for i := range payload {
+		if got.Payload[i] != payload[i] {
+			t.Fatalf("payload corrupt at %d", i)
+		}
+	}
+}
+
+func ExampleChanNetwork() {
+	net := NewChanNetwork(2, CostModel{})
+	defer net.Close()
+	net.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("ping")})
+	m, _ := net.Endpoint(1).Recv()
+	fmt.Println(string(m.Payload), "from", m.From)
+	// Output: ping from 0
+}

@@ -1,0 +1,333 @@
+// Package vkernel layers V-kernel-style communication primitives on the
+// raw transport: blocking request/reply (Send-Receive-Reply in V
+// terminology), one-way sends, and multicast to process groups.
+//
+// The paper's prototype used the V kernel for "high-speed communication
+// between the different processors"; this package is that substrate.
+// Every node runs one Kernel. Incoming messages are dispatched by message
+// kind to registered handlers; each request runs in its own goroutine so
+// a handler may itself issue Calls to other nodes (directory protocols
+// need this: a home node forwards a request to the current owner while
+// the requester stays blocked).
+package vkernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"munin/internal/msg"
+	"munin/internal/transport"
+)
+
+// ErrClosed is returned by calls on a closed kernel.
+var ErrClosed = errors.New("vkernel: closed")
+
+// Handler processes one incoming request. If the sender used Call, the
+// handler must eventually invoke k.Reply(req, ...) exactly once.
+type Handler func(k *Kernel, req *msg.Msg)
+
+// Kernel is one node's communication endpoint and dispatcher.
+type Kernel struct {
+	net  transport.Network
+	ep   transport.Endpoint
+	node msg.NodeID
+
+	seq     atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	ranges  []handlerRange
+	groups  map[int][]msg.NodeID
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type handlerRange struct {
+	lo, hi msg.Kind // inclusive
+	h      Handler
+}
+
+// pendingCall tracks an outstanding Call or MulticastCall: want replies
+// are expected; each arrives on ch. If inline is non-nil it runs on the
+// dispatcher goroutine, before any later incoming message is dispatched.
+type pendingCall struct {
+	ch     chan *msg.Msg
+	want   int
+	got    int
+	inline func(*msg.Msg)
+}
+
+// New creates and starts a kernel for node id on the given network.
+func New(net transport.Network, node msg.NodeID) *Kernel {
+	k := &Kernel{
+		net:     net,
+		ep:      net.Endpoint(node),
+		node:    node,
+		pending: make(map[uint64]*pendingCall),
+		groups:  make(map[int][]msg.NodeID),
+		done:    make(chan struct{}),
+	}
+	k.wg.Add(1)
+	go k.dispatchLoop()
+	return k
+}
+
+// Node returns this kernel's node ID.
+func (k *Kernel) Node() msg.NodeID { return k.node }
+
+// Nodes returns the cluster size.
+func (k *Kernel) Nodes() int { return k.net.Nodes() }
+
+// Handle registers h for every message kind in [lo, hi]. Registration
+// must happen before traffic for those kinds arrives; ranges must not
+// overlap.
+func (k *Kernel) Handle(lo, hi msg.Kind, h Handler) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, r := range k.ranges {
+		if lo <= r.hi && r.lo <= hi {
+			panic(fmt.Sprintf("vkernel: handler range [%#x,%#x] overlaps [%#x,%#x]",
+				uint16(lo), uint16(hi), uint16(r.lo), uint16(r.hi)))
+		}
+	}
+	k.ranges = append(k.ranges, handlerRange{lo, hi, h})
+	sort.Slice(k.ranges, func(i, j int) bool { return k.ranges[i].lo < k.ranges[j].lo })
+}
+
+// DefineGroup registers a multicast group with the given member set.
+// Groups are identified by small integers agreed on by all nodes.
+func (k *Kernel) DefineGroup(id int, members []msg.NodeID) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.groups[id] = append([]msg.NodeID(nil), members...)
+}
+
+// Group returns the members of a group defined with DefineGroup.
+func (k *Kernel) Group(id int) []msg.NodeID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]msg.NodeID(nil), k.groups[id]...)
+}
+
+// Call sends a request to dst and blocks until the reply arrives. It is
+// the V kernel's Send: the caller is suspended until the receiver
+// replies.
+func (k *Kernel) Call(dst msg.NodeID, kind msg.Kind, payload []byte) (*msg.Msg, error) {
+	seq := k.seq.Add(1)
+	ch := make(chan *msg.Msg, 1)
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return nil, ErrClosed
+	}
+	k.pending[seq] = &pendingCall{ch: ch, want: 1}
+	k.mu.Unlock()
+
+	m := &msg.Msg{Kind: kind, To: dst, Seq: seq, Payload: payload}
+	if err := k.ep.Send(m); err != nil {
+		k.mu.Lock()
+		delete(k.pending, seq)
+		k.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-k.done:
+		return nil, ErrClosed
+	}
+}
+
+// CallInline is Call with a twist needed by coherence protocols: fn is
+// executed on the dispatcher goroutine the moment the reply arrives,
+// strictly before any message that the peer sent afterwards is
+// dispatched. A protocol can therefore install an ownership grant and
+// be certain no later fetch or invalidation for the same object can
+// observe the pre-install state. fn must be short and must not block on
+// network operations. CallInline returns after fn has run.
+func (k *Kernel) CallInline(dst msg.NodeID, kind msg.Kind, payload []byte, fn func(*msg.Msg)) error {
+	seq := k.seq.Add(1)
+	ch := make(chan *msg.Msg, 1)
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return ErrClosed
+	}
+	k.pending[seq] = &pendingCall{ch: ch, want: 1, inline: fn}
+	k.mu.Unlock()
+
+	m := &msg.Msg{Kind: kind, To: dst, Seq: seq, Payload: payload}
+	if err := k.ep.Send(m); err != nil {
+		k.mu.Lock()
+		delete(k.pending, seq)
+		k.mu.Unlock()
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-k.done:
+		return ErrClosed
+	}
+}
+
+// MulticastCall sends one multicast message to every member (excluding
+// this node) and blocks until each member has replied. It returns the
+// replies in arrival order. This is the acknowledged update multicast
+// the coherence protocols use: a delayed-update flush does not return
+// until every copy holder has installed the update, so synchronization
+// that follows the flush is guaranteed to make the updates visible.
+func (k *Kernel) MulticastCall(members []msg.NodeID, kind msg.Kind, payload []byte) ([]*msg.Msg, error) {
+	dst := make([]msg.NodeID, 0, len(members))
+	for _, n := range members {
+		if n != k.node {
+			dst = append(dst, n)
+		}
+	}
+	if len(dst) == 0 {
+		return nil, nil
+	}
+	seq := k.seq.Add(1)
+	ch := make(chan *msg.Msg, len(dst))
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return nil, ErrClosed
+	}
+	k.pending[seq] = &pendingCall{ch: ch, want: len(dst)}
+	k.mu.Unlock()
+
+	m := &msg.Msg{Kind: kind, From: k.node, Seq: seq, Payload: payload}
+	if err := k.net.Multicast(m, dst); err != nil {
+		k.mu.Lock()
+		delete(k.pending, seq)
+		k.mu.Unlock()
+		return nil, err
+	}
+	replies := make([]*msg.Msg, 0, len(dst))
+	for len(replies) < len(dst) {
+		select {
+		case reply := <-ch:
+			replies = append(replies, reply)
+		case <-k.done:
+			return replies, ErrClosed
+		}
+	}
+	return replies, nil
+}
+
+// Reply sends a reply to a request received via a handler.
+func (k *Kernel) Reply(req *msg.Msg, payload []byte) error {
+	m := &msg.Msg{
+		Kind:    req.Kind,
+		Flags:   msg.FlagReply,
+		To:      req.From,
+		Seq:     req.Seq,
+		Payload: payload,
+	}
+	return k.ep.Send(m)
+}
+
+// Send transmits a one-way message (no reply expected).
+func (k *Kernel) Send(dst msg.NodeID, kind msg.Kind, payload []byte) error {
+	return k.ep.Send(&msg.Msg{Kind: kind, To: dst, Payload: payload})
+}
+
+// Multicast sends a one-way message to every member of group id,
+// excluding this node if present. The transport decides whether this
+// costs one wire message (hardware multicast) or one per member.
+func (k *Kernel) Multicast(group int, kind msg.Kind, payload []byte) error {
+	members := k.Group(group)
+	return k.MulticastTo(members, kind, payload)
+}
+
+// MulticastTo sends a one-way message to an explicit member set,
+// excluding this node if present.
+func (k *Kernel) MulticastTo(members []msg.NodeID, kind msg.Kind, payload []byte) error {
+	dst := make([]msg.NodeID, 0, len(members))
+	for _, n := range members {
+		if n != k.node {
+			dst = append(dst, n)
+		}
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	m := &msg.Msg{Kind: kind, From: k.node, Payload: payload}
+	return k.net.Multicast(m, dst)
+}
+
+// Close shuts the kernel down. Pending Calls fail with ErrClosed.
+func (k *Kernel) Close() {
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return
+	}
+	k.closed = true
+	close(k.done)
+	k.mu.Unlock()
+}
+
+// Wait blocks until the dispatch loop has exited (after the underlying
+// network is closed).
+func (k *Kernel) Wait() { k.wg.Wait() }
+
+func (k *Kernel) dispatchLoop() {
+	defer k.wg.Done()
+	for {
+		m, err := k.ep.Recv()
+		if err != nil {
+			// Network closed: fail all pending calls.
+			k.Close()
+			return
+		}
+		if m.IsReply() {
+			k.mu.Lock()
+			pc, ok := k.pending[m.Seq]
+			if ok {
+				pc.got++
+				if pc.got >= pc.want {
+					delete(k.pending, m.Seq)
+				}
+			}
+			k.mu.Unlock()
+			if ok {
+				// Copy payload: it aliases the receive buffer.
+				cp := *m
+				cp.Payload = append([]byte(nil), m.Payload...)
+				if pc.inline != nil {
+					// Run before dispatching anything the peer sent
+					// later (see CallInline).
+					pc.inline(&cp)
+				}
+				pc.ch <- &cp
+			}
+			continue
+		}
+		h := k.lookup(m.Kind)
+		if h == nil {
+			continue // no handler registered: drop, like an unbound port
+		}
+		cp := *m
+		cp.Payload = append([]byte(nil), m.Payload...)
+		k.wg.Add(1)
+		go func() {
+			defer k.wg.Done()
+			h(k, &cp)
+		}()
+	}
+}
+
+func (k *Kernel) lookup(kind msg.Kind) Handler {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	i := sort.Search(len(k.ranges), func(i int) bool { return k.ranges[i].hi >= kind })
+	if i < len(k.ranges) && k.ranges[i].lo <= kind && kind <= k.ranges[i].hi {
+		return k.ranges[i].h
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package vkernel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"munin/internal/msg"
+	"munin/internal/transport"
+)
+
+func newTestKernels(t *testing.T, n int) ([]*Kernel, transport.Network) {
+	t.Helper()
+	net := transport.NewChanNetwork(n, transport.CostModel{})
+	ks := make([]*Kernel, n)
+	for i := range ks {
+		ks[i] = New(net, msg.NodeID(i))
+	}
+	t.Cleanup(func() {
+		net.Close()
+		for _, k := range ks {
+			k.Wait()
+		}
+	})
+	return ks, net
+}
+
+func TestCallReply(t *testing.T) {
+	ks, _ := newTestKernels(t, 2)
+	ks[1].Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, append([]byte("pong:"), req.Payload...))
+	})
+	reply, err := ks[0].Call(1, msg.KindPing, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Payload) != "pong:x" {
+		t.Fatalf("reply = %q", reply.Payload)
+	}
+}
+
+func TestCallSelf(t *testing.T) {
+	ks, _ := newTestKernels(t, 1)
+	ks[0].Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, []byte("self"))
+	})
+	reply, err := ks[0].Call(0, msg.KindPing, nil)
+	if err != nil || string(reply.Payload) != "self" {
+		t.Fatalf("self call: %v %v", reply, err)
+	}
+}
+
+func TestHandlerCanCallOtherNodes(t *testing.T) {
+	// Node 0 calls node 1; node 1's handler calls node 2 before replying.
+	// This is the forwarding pattern directory protocols rely on.
+	ks, _ := newTestKernels(t, 3)
+	ks[2].Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, []byte("leaf"))
+	})
+	ks[1].Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		r, err := k.Call(2, msg.KindPing, nil)
+		if err != nil {
+			k.Reply(req, []byte("err"))
+			return
+		}
+		k.Reply(req, append([]byte("via1:"), r.Payload...))
+	})
+	reply, err := ks[0].Call(1, msg.KindPing, nil)
+	if err != nil || string(reply.Payload) != "via1:leaf" {
+		t.Fatalf("forwarded call: %q %v", reply.Payload, err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	ks, _ := newTestKernels(t, 2)
+	ks[1].Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, req.Payload)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i byte) {
+			defer wg.Done()
+			reply, err := ks[0].Call(1, msg.KindPing, []byte{i})
+			if err != nil {
+				t.Errorf("call: %v", err)
+				return
+			}
+			if len(reply.Payload) != 1 || reply.Payload[0] != i {
+				t.Errorf("reply mismatch: %v want %d", reply.Payload, i)
+			}
+		}(byte(i))
+	}
+	wg.Wait()
+}
+
+func TestOneWaySend(t *testing.T) {
+	ks, _ := newTestKernels(t, 2)
+	got := make(chan []byte, 1)
+	ks[1].Handle(msg.KindAppBase, msg.KindAppBase, func(k *Kernel, req *msg.Msg) {
+		got <- req.Payload
+	})
+	if err := ks[0].Send(1, msg.KindAppBase, []byte("oneway")); err != nil {
+		t.Fatal(err)
+	}
+	if p := <-got; string(p) != "oneway" {
+		t.Fatalf("payload = %q", p)
+	}
+}
+
+func TestMulticastGroup(t *testing.T) {
+	ks, _ := newTestKernels(t, 4)
+	var mu sync.Mutex
+	received := map[msg.NodeID]bool{}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for i := 1; i < 4; i++ {
+		ks[i].Handle(msg.KindAppBase, msg.KindAppBase, func(k *Kernel, req *msg.Msg) {
+			mu.Lock()
+			received[k.Node()] = true
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	// Sender is a member too; it must not deliver to itself.
+	ks[0].DefineGroup(7, []msg.NodeID{0, 1, 2, 3})
+	if got := len(ks[0].Group(7)); got != 4 {
+		t.Fatalf("group size = %d", got)
+	}
+	if err := ks[0].Multicast(7, msg.KindAppBase, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(received) != 3 || received[0] {
+		t.Fatalf("received = %v", received)
+	}
+}
+
+func TestMulticastToNobody(t *testing.T) {
+	ks, net := newTestKernels(t, 2)
+	before := net.Stats().Messages()
+	if err := ks[0].MulticastTo([]msg.NodeID{0}, msg.KindAppBase, nil); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().Messages() != before {
+		t.Fatal("multicast to only-self sent wire traffic")
+	}
+}
+
+func TestUnhandledKindDropped(t *testing.T) {
+	ks, _ := newTestKernels(t, 2)
+	// No handler registered on node 1 for this kind: message is dropped,
+	// nothing crashes, and subsequent traffic still works.
+	if err := ks[0].Send(1, msg.KindIvyBase, []byte("stray")); err != nil {
+		t.Fatal(err)
+	}
+	ks[1].Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, nil)
+	})
+	if _, err := ks[0].Call(1, msg.KindPing, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlappingHandlerRangePanics(t *testing.T) {
+	ks, _ := newTestKernels(t, 1)
+	ks[0].Handle(msg.KindLockBase, msg.KindLockBase+10, func(*Kernel, *msg.Msg) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping Handle did not panic")
+		}
+	}()
+	ks[0].Handle(msg.KindLockBase+5, msg.KindLockBase+20, func(*Kernel, *msg.Msg) {})
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	net := transport.NewChanNetwork(2, transport.CostModel{})
+	k0 := New(net, 0)
+	k1 := New(net, 1)
+	_ = k1
+	k0.Close()
+	if _, err := k0.Call(1, msg.KindPing, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	net.Close()
+	k0.Wait()
+	k1.Wait()
+}
+
+func TestPendingCallFailsOnClose(t *testing.T) {
+	net := transport.NewChanNetwork(2, transport.CostModel{})
+	k0 := New(net, 0)
+	k1 := New(net, 1)
+	// Node 1 never replies.
+	k1.Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := k0.Call(1, msg.KindPing, nil)
+		errc <- err
+	}()
+	k0.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	net.Close()
+	k0.Wait()
+	k1.Wait()
+}
+
+func TestHandlerRangeDispatch(t *testing.T) {
+	ks, _ := newTestKernels(t, 2)
+	hits := make(chan string, 2)
+	ks[1].Handle(msg.KindLockBase, msg.KindLockBase+0xff, func(k *Kernel, req *msg.Msg) {
+		hits <- "lock"
+		k.Reply(req, nil)
+	})
+	ks[1].Handle(msg.KindCohBase, msg.KindCohBase+0xff, func(k *Kernel, req *msg.Msg) {
+		hits <- "coh"
+		k.Reply(req, nil)
+	})
+	if _, err := ks[0].Call(1, msg.KindCohBase+7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-hits; got != "coh" {
+		t.Fatalf("dispatched to %q, want coh", got)
+	}
+	if _, err := ks[0].Call(1, msg.KindLockBase+3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-hits; got != "lock" {
+		t.Fatalf("dispatched to %q, want lock", got)
+	}
+}

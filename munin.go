@@ -1,0 +1,133 @@
+// Package munin is a from-scratch implementation of Munin, the
+// distributed shared memory (DSM) system with type-specific memory
+// coherence described in:
+//
+//	J.K. Bennett, J.B. Carter, W. Zwaenepoel.
+//	"Munin: Distributed Shared Memory Based on Type-Specific Memory
+//	Coherence". PPoPP 1990.
+//
+// Munin runs shared-memory programs on a distributed-memory machine by
+// choosing a coherence protocol per shared object, driven by a semantic
+// annotation the programmer supplies at allocation: write-once objects
+// replicate; write-many objects buffer updates in a per-thread delayed
+// update queue and ship combined diffs at synchronization points;
+// migratory objects ride inside lock-transfer messages; producer-
+// consumer objects are pushed eagerly to their consumers; result
+// objects merge at a collector; and so on (see internal/protocol).
+//
+// The distributed machine is simulated: nodes share nothing and
+// communicate only through counted, serialized messages, so the traffic
+// numbers the benchmarks report mean what they would on real hardware
+// of the paper's era. An Ivy-style strict page-based DSM (the paper's
+// principal point of comparison) and hand-coded message-passing
+// baselines are included.
+//
+// # Quick start
+//
+//	sys, _ := munin.New(munin.Config{Nodes: 4})
+//	defer sys.Close()
+//	counter := sys.Alloc("counter", 8, munin.Conventional, munin.DefaultOptions(), nil)
+//	lock := sys.NewLock()
+//	sys.Run(8, func(c munin.Ctx) {
+//	    c.Acquire(lock)
+//	    munin.WriteU64(c, counter, 0, munin.ReadU64(c, counter, 0)+1)
+//	    c.Release(lock)
+//	})
+package munin
+
+import (
+	"munin/internal/api"
+	"munin/internal/core"
+	"munin/internal/dlock"
+	"munin/internal/ivy"
+	"munin/internal/protocol"
+	"munin/internal/transport"
+)
+
+// Config configures a Munin system. See core.Config.
+type Config = core.Config
+
+// System is a running Munin DSM instance.
+type System = core.System
+
+// IvyConfig configures the Ivy baseline system.
+type IvyConfig = ivy.Config
+
+// IvySystem is a running Ivy (strict page-based DSM) instance.
+type IvySystem = ivy.System
+
+// DSM is the interface both systems satisfy; application code written
+// against it runs unchanged on either.
+type DSM = api.System
+
+// Ctx is a thread's handle to shared memory and synchronization.
+type Ctx = api.Ctx
+
+// RegionID names an allocated shared region.
+type RegionID = api.RegionID
+
+// Annotation is the per-object semantic hint selecting the coherence
+// mechanism (the paper's type-specific declaration).
+type Annotation = protocol.Annotation
+
+// The access-pattern annotations (paper Section 2 / §3.3).
+const (
+	Conventional     = protocol.Conventional
+	WriteOnce        = protocol.WriteOnce
+	WriteMany        = protocol.WriteMany
+	ProducerConsumer = protocol.ProducerConsumer
+	Migratory        = protocol.Migratory
+	Result           = protocol.Result
+	Private          = protocol.Private
+	ReadMostly       = protocol.ReadMostly
+	GeneralRW        = protocol.GeneralRW
+)
+
+// Options tunes per-object protocol behaviour (home placement,
+// associated lock for migratory data, refresh vs invalidate, dynamic
+// adaptation, diff folding).
+type Options = protocol.Options
+
+// UpdateMode selects refresh vs invalidate for replicated objects.
+type UpdateMode = protocol.UpdateMode
+
+// Update modes (§3.4.2).
+const (
+	Refresh    = protocol.Refresh
+	Invalidate = protocol.Invalidate
+)
+
+// Synchronization object identifiers.
+type (
+	LockID    = dlock.LockID
+	BarrierID = dlock.BarrierID
+	AtomicID  = dlock.AtomicID
+)
+
+// CostModel charges messages with modeled network time.
+type CostModel = transport.CostModel
+
+// New builds and starts a Munin system.
+func New(cfg Config) (*System, error) { return core.New(cfg) }
+
+// NewIvy builds and starts the Ivy baseline.
+func NewIvy(cfg IvyConfig) (*IvySystem, error) { return ivy.New(cfg) }
+
+// DefaultOptions returns zero-configuration per-object options.
+func DefaultOptions() Options { return protocol.DefaultOptions() }
+
+// DefaultCostModel approximates the paper's 10 Mbit/s Ethernet with
+// 1 ms small-message latency.
+func DefaultCostModel() CostModel { return transport.DefaultCostModel() }
+
+// Typed access helpers (see internal/api).
+var (
+	ReadU64  = api.ReadU64
+	WriteU64 = api.WriteU64
+	ReadI64  = api.ReadI64
+	WriteI64 = api.WriteI64
+	ReadF64  = api.ReadF64
+	WriteF64 = api.WriteF64
+	ReadU32  = api.ReadU32
+	WriteU32 = api.WriteU32
+)

@@ -1,0 +1,138 @@
+package munin
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Facade-level tests: the public API a downstream user sees.
+
+func TestQuickstartShape(t *testing.T) {
+	sys, err := New(Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	counter := sys.Alloc("counter", 8, Conventional, DefaultOptions(), nil)
+	lock := sys.NewLock()
+	sys.Run(8, func(c Ctx) {
+		c.Acquire(lock)
+		WriteU64(c, counter, 0, ReadU64(c, counter, 0)+1)
+		c.Release(lock)
+	})
+	var got uint64
+	sys.Run(1, func(c Ctx) { got = ReadU64(c, counter, 0) })
+	if got != 8 {
+		t.Fatalf("counter = %d, want 8", got)
+	}
+}
+
+func TestAllAnnotationsUsableThroughFacade(t *testing.T) {
+	sys, err := New(Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	lock := sys.NewLock()
+	migOpts := DefaultOptions()
+	migOpts.Lock = lock
+	resOpts := DefaultOptions()
+	resOpts.Home = 0
+
+	regions := map[string]RegionID{
+		"wo":   sys.Alloc("wo", 8, WriteOnce, DefaultOptions(), []byte{1, 2, 3, 4, 5, 6, 7, 8}),
+		"wm":   sys.Alloc("wm", 8, WriteMany, DefaultOptions(), nil),
+		"pc":   sys.Alloc("pc", 8, ProducerConsumer, DefaultOptions(), nil),
+		"mig":  sys.Alloc("mig", 8, Migratory, migOpts, nil),
+		"res":  sys.Alloc("res", 8, Result, resOpts, nil),
+		"priv": sys.Alloc("priv", 8, Private, DefaultOptions(), nil),
+		"rm":   sys.Alloc("rm", 8, ReadMostly, DefaultOptions(), nil),
+		"grw":  sys.Alloc("grw", 8, GeneralRW, DefaultOptions(), nil),
+		"conv": sys.Alloc("conv", 8, Conventional, DefaultOptions(), nil),
+	}
+	bar := sys.NewBarrier()
+	var failures atomic.Int32
+	sys.Run(3, func(c Ctx) {
+		id := c.ThreadID()
+		buf := make([]byte, 8)
+		// Everyone reads the write-once table.
+		c.Read(regions["wo"], 0, buf)
+		if buf[0] != 1 {
+			failures.Add(1)
+		}
+		// Write-many: disjoint bytes, visible after the barrier.
+		c.Write(regions["wm"], id, []byte{byte(id + 1)})
+		// Conventional + general-rw: last write wins, strict.
+		WriteU64(c, regions["conv"], 0, uint64(id))
+		WriteU64(c, regions["grw"], 0, uint64(id))
+		// Read-mostly: remote load/store.
+		c.Read(regions["rm"], 0, buf)
+		// Private: local only.
+		c.Write(regions["priv"], 0, []byte{byte(id)})
+		// Migratory under its lock.
+		c.Acquire(lock)
+		WriteU64(c, regions["mig"], 0, ReadU64(c, regions["mig"], 0)+1)
+		c.Release(lock)
+		// Result slice.
+		c.Write(regions["res"], id*2, []byte{byte(id), byte(id)})
+		// Producer-consumer: thread 0 produces.
+		if id == 0 {
+			WriteU64(c, regions["pc"], 0, 99)
+		}
+		c.Barrier(bar, 3)
+		if got := ReadU64(c, regions["pc"], 0); got != 99 {
+			failures.Add(1)
+		}
+		for i := 0; i < 3; i++ {
+			c.Read(regions["wm"], i, buf[:1])
+			if buf[0] != byte(i+1) {
+				failures.Add(1)
+			}
+		}
+	})
+	if failures.Load() != 0 {
+		t.Fatalf("%d cross-annotation failures", failures.Load())
+	}
+	var mig uint64
+	sys.Run(1, func(c Ctx) {
+		c.Acquire(lock)
+		mig = ReadU64(c, regions["mig"], 0)
+		c.Release(lock)
+	})
+	if mig != 3 {
+		t.Fatalf("migratory counter = %d, want 3", mig)
+	}
+}
+
+func TestIvyFacade(t *testing.T) {
+	sys, err := NewIvy(IvyConfig{Nodes: 2, PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	r := sys.Alloc("x", 8, Conventional, DefaultOptions(), nil)
+	sys.Run(2, func(c Ctx) {
+		if c.ThreadID() == 0 {
+			WriteU64(c, r, 0, 7)
+		}
+	})
+	var got uint64
+	sys.Run(1, func(c Ctx) { got = ReadU64(c, r, 0) })
+	if got != 7 {
+		t.Fatalf("ivy read = %d", got)
+	}
+}
+
+func TestCostModelAccounting(t *testing.T) {
+	sys, err := New(Config{Nodes: 2, Cost: DefaultCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	r := sys.Alloc("x", 8, Conventional, DefaultOptions(), nil)
+	sys.Run(2, func(c Ctx) { WriteU64(c, r, 0, uint64(c.ThreadID())) })
+	if sys.Stats().ModeledNetworkNs() <= 0 {
+		t.Fatal("no modeled network time accumulated")
+	}
+}
