@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	munin-bench [-nodes N] [-exp F1|T1|E1|...|all]
+//	munin-bench [-nodes N] [-exp F1|T1|E1|...|all] [-json path]
+//
+// With -json, every experiment's headline metrics are also written to
+// the given file as a JSON array, so successive runs can be archived as
+// a perf trajectory (BENCH_*.json) and diffed across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,27 +20,54 @@ import (
 	"munin/internal/bench"
 )
 
+// jsonResult is the serialized form of one experiment's metrics.
+type jsonResult struct {
+	ID      string             `json:"id"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func writeJSON(path string, results []*bench.Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, jsonResult{ID: r.ID, Metrics: r.Metrics})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	nodes := flag.Int("nodes", 4, "number of simulated processors")
-	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E9, or all)")
+	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E10, or all)")
+	jsonPath := flag.String("json", "", "write experiment metrics to this file as JSON")
 	flag.Parse()
 
 	runners := map[string]func(int) *bench.Result{
 		"F1": bench.F1, "T1": bench.T1, "E1": bench.E1, "E2": bench.E2,
 		"E3": bench.E3, "E4": bench.E4, "E5": bench.E5, "E6": bench.E6,
-		"E7": bench.E7, "E8": bench.E8, "E9": bench.E9,
+		"E7": bench.E7, "E8": bench.E8, "E9": bench.E9, "E10": bench.E10,
 	}
 
+	var results []*bench.Result
 	if strings.EqualFold(*exp, "all") {
-		for _, r := range bench.All(*nodes) {
-			fmt.Println(r)
+		results = bench.All(*nodes)
+	} else {
+		run, ok := runners[strings.ToUpper(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E10, or all\n", *exp)
+			os.Exit(2)
 		}
-		return
+		results = []*bench.Result{run(*nodes)}
 	}
-	run, ok := runners[strings.ToUpper(*exp)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E9, or all\n", *exp)
-		os.Exit(2)
+	for _, r := range results {
+		fmt.Println(r)
 	}
-	fmt.Println(run(*nodes))
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -1,0 +1,3 @@
+module munin
+
+go 1.24

@@ -153,12 +153,32 @@ func TestE9FalseSharing(t *testing.T) {
 	}
 }
 
+func TestE10BatchedFlushIsO1(t *testing.T) {
+	r := E10(2)
+	// The acceptance shape: K dirty objects homed on one remote node
+	// cost 2K messages serially and O(1) batched.
+	for _, k := range []float64{4, 16, 64} {
+		key := map[float64]string{4: "4", 16: "16", 64: "64"}[k]
+		if got := r.Metrics["serial."+key]; got != 2*k {
+			t.Errorf("serial.%s = %v msgs, want %v", key, got, 2*k)
+		}
+		if got := r.Metrics["batched."+key]; got != 2 {
+			t.Errorf("batched.%s = %v msgs, want 2", key, got)
+		}
+	}
+	// A batch of one must not cost more than the unbatched protocol.
+	if r.Metrics["batched.1"] > r.Metrics["serial.1"] {
+		t.Errorf("batch of one costs %v msgs vs serial %v",
+			r.Metrics["batched.1"], r.Metrics["serial.1"])
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 11 {
+	if len(results) != 12 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

@@ -61,30 +61,65 @@ func (q *Queue) Pending() int { return len(q.order) }
 // Contains reports whether obj has a pending delayed update.
 func (q *Queue) Contains(obj memory.ObjectID) bool { return q.dirty[obj] }
 
+// Drain returns the pending dirty set in first-modification order
+// without removing it. The protocol layer uses it to plan a whole
+// flush at once — grouping objects by destination and batching the
+// wire messages — instead of being called back object-by-object. The
+// caller reports what it actually emitted with Commit; until then
+// every entry stays queued, preserving Flush's failure semantics. The
+// returned slice is a copy the caller may keep.
+func (q *Queue) Drain() []memory.ObjectID {
+	if len(q.order) == 0 {
+		q.emptyFlux++
+		return nil
+	}
+	return append([]memory.ObjectID(nil), q.order...)
+}
+
+// Commit removes the given emitted objects from the queue, counting
+// each as one propagated update. Objects not committed stay queued in
+// their original first-modification order, so a flush that fails
+// partway commits only what it emitted and the failed object plus all
+// later entries remain queued in order. Objects not pending are
+// ignored.
+func (q *Queue) Commit(emitted []memory.ObjectID) {
+	if len(emitted) == 0 {
+		return
+	}
+	done := make(map[memory.ObjectID]bool, len(emitted))
+	for _, o := range emitted {
+		done[o] = true
+	}
+	removed := 0
+	rest := q.order[:0]
+	for _, o := range q.order {
+		if done[o] && q.dirty[o] {
+			delete(q.dirty, o)
+			q.updates++
+			removed++
+			continue
+		}
+		rest = append(rest, o)
+	}
+	q.order = rest
+	if removed > 0 && len(q.order) == 0 {
+		q.flushes++
+	}
+}
+
 // Flush emits every pending update in first-modification order by
 // invoking emit for each dirty object, then clears the queue. If emit
 // returns an error the flush stops and the remaining entries stay
 // queued (the failed object stays queued too, at the head).
 func (q *Queue) Flush(emit func(obj memory.ObjectID) error) error {
-	if len(q.order) == 0 {
-		q.emptyFlux++
-		return nil
-	}
-	for i, obj := range q.order {
+	pending := q.Drain()
+	for i, obj := range pending {
 		if err := emit(obj); err != nil {
-			q.order = q.order[i:]
-			rest := make(map[memory.ObjectID]bool, len(q.order))
-			for _, o := range q.order {
-				rest[o] = true
-			}
-			q.dirty = rest
+			q.Commit(pending[:i])
 			return err
 		}
-		delete(q.dirty, obj)
-		q.updates++
 	}
-	q.order = q.order[:0]
-	q.flushes++
+	q.Commit(pending)
 	return nil
 }
 

@@ -112,6 +112,115 @@ func TestStatsCountUpdatesAndFlushes(t *testing.T) {
 	}
 }
 
+func TestDrainReturnsOrderWithoutClearing(t *testing.T) {
+	q := New()
+	q.MarkDirty(4)
+	q.MarkDirty(2)
+	q.MarkDirty(4)
+	q.MarkDirty(6)
+	got := q.Drain()
+	want := []memory.ObjectID{4, 2, 6}
+	if len(got) != len(want) || got[0] != 4 || got[1] != 2 || got[2] != 6 {
+		t.Fatalf("drain = %v, want %v", got, want)
+	}
+	// Drain is a plan, not a removal: everything is still pending.
+	if q.Pending() != 3 || !q.Contains(4) || !q.Contains(2) || !q.Contains(6) {
+		t.Fatalf("drain removed entries: pending=%d", q.Pending())
+	}
+	// The returned slice is a copy: mutating it must not corrupt the queue.
+	got[0] = 99
+	if !q.Contains(4) || q.Contains(99) {
+		t.Fatal("drain result aliases queue state")
+	}
+}
+
+func TestCommitRemovesOnlyEmitted(t *testing.T) {
+	q := New()
+	q.MarkDirty(1)
+	q.MarkDirty(2)
+	q.MarkDirty(3)
+	q.MarkDirty(4)
+	// A batched flush may succeed out of prefix order (one destination's
+	// batch landed, another's failed): commit {1, 3} only.
+	q.Commit([]memory.ObjectID{1, 3})
+	if q.Pending() != 2 || q.Contains(1) || q.Contains(3) {
+		t.Fatalf("commit left pending=%d 1=%v 3=%v", q.Pending(), q.Contains(1), q.Contains(3))
+	}
+	// The survivors keep their original relative order.
+	var got []memory.ObjectID
+	if err := q.Flush(func(o memory.ObjectID) error { got = append(got, o); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("surviving order = %v, want [2 4]", got)
+	}
+}
+
+func TestCommitCountsUpdatesAndFlushes(t *testing.T) {
+	q := New()
+	q.MarkDirty(1)
+	q.MarkDirty(2)
+	q.Commit(q.Drain())
+	_, _, updates, flushes := q.Stats()
+	if updates != 2 || flushes != 1 {
+		t.Fatalf("updates=%d flushes=%d", updates, flushes)
+	}
+	// Committing objects that are not pending is a no-op — no phantom
+	// flush, no double counting.
+	q.Commit([]memory.ObjectID{1, 2})
+	_, _, updates, flushes = q.Stats()
+	if updates != 2 || flushes != 1 {
+		t.Fatalf("after redundant commit: updates=%d flushes=%d", updates, flushes)
+	}
+}
+
+func TestPartialCommitLeavesNoFlushCredit(t *testing.T) {
+	q := New()
+	q.MarkDirty(1)
+	q.MarkDirty(2)
+	q.Commit([]memory.ObjectID{1})
+	_, _, updates, flushes := q.Stats()
+	if updates != 1 || flushes != 0 {
+		t.Fatalf("partial commit: updates=%d flushes=%d", updates, flushes)
+	}
+	q.Commit([]memory.ObjectID{2})
+	_, _, updates, flushes = q.Stats()
+	if updates != 2 || flushes != 1 {
+		t.Fatalf("completing commit: updates=%d flushes=%d", updates, flushes)
+	}
+}
+
+func TestMidFlushErrorKeepsFailedAndLaterInOrder(t *testing.T) {
+	// The duq failure contract the protocol layer relies on: when a
+	// flush dies partway (a batch Call failing), the failed object and
+	// every later entry must still be queued, in first-modification
+	// order, so the retry propagates them in program order.
+	q := New()
+	for _, id := range []memory.ObjectID{10, 20, 30, 40, 50} {
+		q.MarkDirty(id)
+	}
+	boom := errors.New("link down")
+	err := q.Flush(func(o memory.ObjectID) error {
+		if o == 30 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	var got []memory.ObjectID
+	if err := q.Flush(func(o memory.ObjectID) error { got = append(got, o); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 30 || got[1] != 40 || got[2] != 50 {
+		t.Fatalf("retry order = %v, want [30 40 50]", got)
+	}
+	if q.Pending() != 0 {
+		t.Fatalf("pending after retry = %d", q.Pending())
+	}
+}
+
 func TestCombiningProperty(t *testing.T) {
 	// Property: after any sequence of writes, the number of emitted
 	// updates at flush equals the number of distinct objects written,

@@ -79,6 +79,16 @@ func (b *Builder) Str(s string) *Builder {
 	return b
 }
 
+// Entry appends a length-prefixed sub-payload built by fn. Multi-object
+// batch messages frame each per-object entry this way, under a shared
+// header, so a decoder can delimit entries without understanding their
+// contents and a corrupt entry cannot desynchronize its neighbours.
+func (b *Builder) Entry(fn func(e *Builder)) *Builder {
+	var e Builder
+	fn(&e)
+	return b.BytesN(e.buf)
+}
+
 // ErrCodec is the error reported by Reader when decoding runs off the end
 // of the payload or a length prefix is corrupt.
 var ErrCodec = errors.New("msg: malformed payload")
@@ -180,3 +190,15 @@ func (r *Reader) BytesN() []byte {
 
 // Str decodes a length-prefixed string.
 func (r *Reader) Str() string { return string(r.BytesN()) }
+
+// Entry decodes one length-prefixed sub-payload written by
+// Builder.Entry, returning a Reader positioned over just that entry.
+// If the outer payload is malformed the returned Reader starts in the
+// error state, so batch decoders can keep their per-entry decode loop
+// unconditional and check errors once.
+func (r *Reader) Entry() *Reader {
+	p := r.BytesN()
+	e := NewReader(p)
+	e.err = r.err
+	return e
+}

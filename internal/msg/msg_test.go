@@ -163,3 +163,65 @@ func TestBuilderReaderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEntryFramingRoundTrip(t *testing.T) {
+	// A batch: shared header (count) then length-prefixed entries.
+	b := NewBuilder(0)
+	b.U32(2)
+	b.Entry(func(e *Builder) { e.U32(7).BytesN([]byte("abc")) })
+	b.Entry(func(e *Builder) { e.U32(9).BytesN(nil) })
+
+	r := NewReader(b.Bytes())
+	if n := r.U32(); n != 2 {
+		t.Fatalf("count = %d", n)
+	}
+	e1 := r.Entry()
+	if id := e1.U32(); id != 7 {
+		t.Fatalf("entry1 id = %d", id)
+	}
+	if p := e1.BytesN(); string(p) != "abc" {
+		t.Fatalf("entry1 body = %q", p)
+	}
+	if e1.Remaining() != 0 || e1.Err() != nil {
+		t.Fatalf("entry1 remaining=%d err=%v", e1.Remaining(), e1.Err())
+	}
+	e2 := r.Entry()
+	if id := e2.U32(); id != 9 {
+		t.Fatalf("entry2 id = %d", id)
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("outer remaining=%d err=%v", r.Remaining(), r.Err())
+	}
+}
+
+func TestEntryOverrunStaysInsideFrame(t *testing.T) {
+	// Reading past one entry's end must error that entry's Reader, not
+	// leak into the next entry's bytes.
+	b := NewBuilder(0)
+	b.Entry(func(e *Builder) { e.U8(1) })
+	b.Entry(func(e *Builder) { e.U8(2) })
+	r := NewReader(b.Bytes())
+	e1 := r.Entry()
+	if v := e1.U8(); v != 1 {
+		t.Fatalf("entry1 = %d", v)
+	}
+	if v := e1.U8(); v != 0 || !errors.Is(e1.Err(), ErrCodec) {
+		t.Fatalf("overrun read = %d err = %v, want 0/ErrCodec", v, e1.Err())
+	}
+	// The outer reader is still positioned at entry 2.
+	e2 := r.Entry()
+	if v := e2.U8(); v != 2 || r.Err() != nil {
+		t.Fatalf("entry2 = %d outer err = %v", v, r.Err())
+	}
+}
+
+func TestEntryOnMalformedOuterIsErrored(t *testing.T) {
+	r := NewReader([]byte{0xff}) // uvarint length prefix with no body
+	e := r.Entry()
+	if e.Err() == nil {
+		t.Fatal("entry reader on malformed outer payload has no error")
+	}
+	if v := e.U32(); v != 0 {
+		t.Fatalf("errored entry U32 = %d", v)
+	}
+}

@@ -2,6 +2,8 @@ package protocol
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"munin/internal/memory"
 	"munin/internal/msg"
@@ -83,18 +85,339 @@ func (n *Node) Write(q *duq.Queue, id memory.ObjectID, off int, data []byte) {
 	n.C.Add("writes", 1)
 }
 
-// FlushQueue propagates every delayed update in q, in program order.
-// The runtime calls this before every synchronization operation and at
-// thread exit ("the delayed update queue must be flushed whenever a
-// thread synchronizes").
+// FlushQueue propagates every delayed update in q. The runtime calls
+// this before every synchronization operation and at thread exit ("the
+// delayed update queue must be flushed whenever a thread
+// synchronizes").
+//
+// The flush is planned as a whole (duq.Drain) and batched: write-many
+// and result diffs are grouped by home node, producer-consumer pushes
+// by consumer set, and one message per destination carries that
+// destination's entries in first-modification order. Batches to
+// distinct destinations go out concurrently; the flush returns only
+// after every destination acknowledged, so a synchronization operation
+// that follows still guarantees visibility everywhere.
+//
+// Ordering (§3.2): within one destination group the requirement that a
+// remote thread never observe a later update while missing an earlier
+// one holds outright — a home merges its batch in first-modification
+// order, each copy holder receives all of that home's updates in one
+// in-order message, and per-object sequence stamping orders updates
+// across flushes. Across destination groups (objects homed at
+// different nodes, or pushed to different consumer sets) the batches
+// are deliberately pipelined, so mid-flush an unsynchronized third
+// node may transiently observe a later-written object's update before
+// an earlier-written one homed elsewhere; any thread that
+// synchronizes sees everything, because the flush completed before
+// the lock or barrier was released. ROADMAP.md ("cross-home flush
+// ordering option") tracks a strict mode for programs that read
+// unsynchronized across homes.
 func (n *Node) FlushQueue(q *duq.Queue) {
-	err := q.Flush(func(id memory.ObjectID) error {
-		n.flushObject(id)
-		return nil
-	})
-	if err != nil {
+	if n.serialFlush.Load() {
+		err := q.Flush(func(id memory.ObjectID) error {
+			n.flushObject(id)
+			return nil
+		})
+		if err != nil {
+			panic(fmt.Sprintf("munin: flush: %v", err))
+		}
+		return
+	}
+	pending := q.Drain()
+	if len(pending) == 0 {
+		return
+	}
+	n.flushBatched(pending)
+	q.Commit(pending)
+}
+
+// pcGroup collects the producer-consumer objects of one flush that
+// share a destination set, so their pushes travel as one multicast.
+type pcGroup struct {
+	members []msg.NodeID
+	objs    []*Obj // in first-modification order
+}
+
+// flushBatched plans and executes one batched, pipelined flush over
+// the drained dirty set (in first-modification order).
+func (n *Node) flushBatched(pending []memory.ObjectID) {
+	var (
+		local       []batchEntry // write-many/result homed on this node
+		remote      = make(map[msg.NodeID][]batchEntry)
+		remoteOrder []msg.NodeID
+		pcGroups    = make(map[string]*pcGroup)
+		pcOrder     []string
+	)
+	for _, id := range pending {
+		o := n.mustObj(id)
+		switch o.meta.Annot {
+		case WriteMany, Result:
+			spans := n.takeDiff(o)
+			if len(spans) == 0 {
+				continue
+			}
+			n.C.Add("diff.sent", 1)
+			n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
+			if home := n.homeOf(&o.meta); home == n.id {
+				local = append(local, batchEntry{id: id, spans: spans})
+			} else {
+				if _, ok := remote[home]; !ok {
+					remoteOrder = append(remoteOrder, home)
+				}
+				remote[home] = append(remote[home], batchEntry{id: id, spans: spans})
+			}
+		case ProducerConsumer:
+			n.becomeProducer(o)
+			members := n.pushMembers(o)
+			key := memberKey(members)
+			g, ok := pcGroups[key]
+			if !ok {
+				g = &pcGroup{members: members}
+				pcGroups[key] = g
+				pcOrder = append(pcOrder, key)
+			}
+			g.objs = append(g.objs, o)
+		default:
+			// Other annotations never enter the DUQ.
+		}
+	}
+
+	work := len(remoteOrder) + len(pcOrder)
+	if len(local) > 0 {
+		work++
+	}
+	if work == 0 {
+		return
+	}
+	if work > 1 {
+		n.C.Add("flush.pipelined", 1)
+	}
+
+	// Pipeline: distinct destinations proceed concurrently; the flush
+	// completes only when every one has acknowledged. A single
+	// destination runs inline — no goroutine hop on the common path.
+	errc := make(chan error, work)
+	var wg sync.WaitGroup
+	run := func(f func() error) {
+		if work == 1 {
+			if err := f(); err != nil {
+				errc <- err
+			}
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := f(); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	if len(local) > 0 {
+		run(func() error {
+			// Local flush at the home: the home copy already holds the
+			// bytes; just run the home-side merge + redistribution.
+			n.homeMergeBatch(local, n.id, true)
+			return nil
+		})
+	}
+	for _, dst := range remoteOrder {
+		dst, entries := dst, remote[dst]
+		run(func() error { return n.sendDiffBatch(dst, entries) })
+	}
+	for _, key := range pcOrder {
+		g := pcGroups[key]
+		run(func() error { return n.pushBatch(g) })
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
 		panic(fmt.Sprintf("munin: flush: %v", err))
 	}
+}
+
+// takeDiff consumes o's twin and returns the combined update spans
+// (nil if another thread's flush already consumed the twin or every
+// buffered write was a no-op).
+func (n *Node) takeDiff(o *Obj) []memory.Span {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.twin == nil {
+		return nil
+	}
+	spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
+	o.twin = nil
+	return spans
+}
+
+// sendDiffBatch ships one home's planned entries. A batch of one uses
+// the single-object kindDiff message, so it costs exactly what the
+// unbatched protocol paid; larger batches collapse 2K messages (K
+// diffs + K acks) into one kindDiffBatch round trip.
+func (n *Node) sendDiffBatch(dst msg.NodeID, entries []batchEntry) error {
+	if len(entries) == 1 {
+		e := entries[0]
+		b := msg.NewBuilder(16 + memory.SpanBytes(e.spans))
+		b.U32(uint32(e.id))
+		memory.EncodeSpans(b, e.spans)
+		reply, err := n.k.Call(dst, kindDiff, b.Bytes())
+		if err != nil {
+			return fmt.Errorf("diff to node %d: %w", dst, err)
+		}
+		n.settleOwnDiff(e.id, msg.NewReader(reply.Payload).U64())
+		return nil
+	}
+	b := msg.NewBuilder(64)
+	b.U32(uint32(len(entries)))
+	for _, e := range entries {
+		b.Entry(func(eb *msg.Builder) {
+			eb.U32(uint32(e.id))
+			memory.EncodeSpans(eb, e.spans)
+		})
+	}
+	payload := b.Bytes()
+	n.C.Add("batch.sent", 1)
+	n.C.Add("batch.objs", int64(len(entries)))
+	n.C.Add("batch.bytes", int64(len(payload)))
+	reply, err := n.k.Call(dst, kindDiffBatch, payload)
+	if err != nil {
+		return fmt.Errorf("diff batch to node %d: %w", dst, err)
+	}
+	r := msg.NewReader(reply.Payload)
+	if cnt := int(r.U32()); cnt != len(entries) || r.Err() != nil {
+		return fmt.Errorf("diff batch to node %d: reply has %d seqs, want %d", dst, cnt, len(entries))
+	}
+	for _, e := range entries {
+		n.settleOwnDiff(e.id, r.U64())
+	}
+	return nil
+}
+
+// settleOwnDiff advances an object's update sequence past this node's
+// own diff, whose home relay excluded us (see advanceOwn).
+func (n *Node) settleOwnDiff(id memory.ObjectID, seq uint64) {
+	o := n.mustObj(id)
+	o.mu.Lock()
+	o.advanceOwn(seq)
+	o.mu.Unlock()
+}
+
+// withHome appends the object's home to a consumer-set snapshot unless
+// it is already present or this node is the home.
+func (n *Node) withHome(o *Obj, members []msg.NodeID) []msg.NodeID {
+	home := n.homeOf(&o.meta)
+	for _, m := range members {
+		if m == home {
+			return members
+		}
+	}
+	if home != n.id {
+		members = append(members, home)
+	}
+	return members
+}
+
+// pushMembers snapshots the destination set of one producer-consumer
+// push: the cached consumer set plus the home.
+func (n *Node) pushMembers(o *Obj) []msg.NodeID {
+	o.mu.Lock()
+	members := make([]msg.NodeID, 0, len(o.consumers)+1)
+	members = append(members, o.consumers...)
+	o.mu.Unlock()
+	return n.withHome(o, members)
+}
+
+// memberKey is a canonical (order-independent) key for a member set.
+func memberKey(members []msg.NodeID) string {
+	s := append([]msg.NodeID(nil), members...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return fmt.Sprint(s)
+}
+
+// pushBatch multicasts one batch of producer-consumer updates to a
+// shared destination set. Each object's pushMu is held across the
+// acknowledged multicast — acquired in object-ID order so concurrent
+// overlapping batches from other threads cannot deadlock — preserving
+// flushProducer's guarantee: consumers see each object's sequence
+// numbers in order, and an acknowledged push implies all earlier
+// pushes landed.
+func (n *Node) pushBatch(g *pcGroup) error {
+	sorted := append([]*Obj(nil), g.objs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].meta.ID < sorted[j].meta.ID })
+	for _, o := range sorted {
+		o.pushMu.Lock()
+	}
+	defer func() {
+		for _, o := range sorted {
+			o.pushMu.Unlock()
+		}
+	}()
+
+	groupKey := memberKey(g.members)
+	type solo struct {
+		members []msg.NodeID
+		entry   applyEntry
+	}
+	batch := make([]applyEntry, 0, len(g.objs))
+	var solos []solo
+	for _, o := range g.objs { // first-modification order
+		o.mu.Lock()
+		if o.twin == nil {
+			o.mu.Unlock()
+			continue
+		}
+		spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
+		o.twin = nil
+		if len(spans) == 0 {
+			o.mu.Unlock()
+			continue
+		}
+		o.prodSeq++
+		seq := o.prodSeq
+		o.applySeq = seq // our copy already reflects this update
+		// Re-snapshot the destination set under the same o.mu hold as
+		// the sequence stamp — the (members, seq) pairing the consumer
+		// registration handshake relies on (see handleRegCons). The
+		// plan-time set was only a grouping hint; if a registration
+		// changed it since, the object leaves the batch and is pushed
+		// alone to its fresh set.
+		members := make([]msg.NodeID, 0, len(o.consumers)+1)
+		members = append(members, o.consumers...)
+		o.mu.Unlock()
+		members = n.withHome(o, members)
+		n.C.Add("diff.sent", 1)
+		n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
+		n.C.Add("eager.push", 1)
+		e := applyEntry{id: o.meta.ID, seq: seq, spans: spans}
+		if memberKey(members) == groupKey {
+			batch = append(batch, e)
+		} else {
+			solos = append(solos, solo{members: members, entry: e})
+		}
+	}
+
+	// Acknowledged eager pushes: consumers never wait for data, the
+	// producer pays the wait at its own synchronization point.
+	if len(batch) > 0 {
+		kind := kindApply
+		var payload []byte
+		if len(batch) == 1 {
+			payload = encodeApply(batch[0])
+		} else {
+			kind = kindApplyBatch
+			payload = encodeApplyBatch(batch)
+			n.countBatch(len(batch), payload)
+		}
+		if _, err := n.k.MulticastCall(g.members, kind, payload); err != nil && !isShutdown(err) {
+			return fmt.Errorf("producer push: %w", err)
+		}
+	}
+	for _, s := range solos {
+		if _, err := n.k.MulticastCall(s.members, kindApply, encodeApply(s.entry)); err != nil && !isShutdown(err) {
+			return fmt.Errorf("producer push: %w", err)
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------
@@ -263,7 +586,8 @@ func (n *Node) bufferedWrite(q *duq.Queue, o *Obj, off int, data []byte) {
 	n.C.Add("write.buffered", 1)
 }
 
-// flushObject emits the delayed update for one object.
+// flushObject emits the delayed update for one object (the legacy
+// serial flush path; see SetSerialFlush).
 func (n *Node) flushObject(id memory.ObjectID) {
 	o := n.mustObj(id)
 	switch o.meta.Annot {
@@ -415,12 +739,10 @@ func (n *Node) flushProducer(o *Obj) {
 	n.C.Add("diff.sent", 1)
 	n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
 	n.C.Add("eager.push", 1)
-	b := msg.NewBuilder(32 + memory.SpanBytes(spans))
-	b.U32(uint32(id)).U64(seq).U8(uint8(Refresh))
-	memory.EncodeSpans(b, spans)
 	// Acknowledged eager push: consumers never wait for data, the
 	// producer pays the wait at its own synchronization point.
-	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !isShutdown(err) {
+	payload := encodeApply(applyEntry{id: id, seq: seq, spans: spans})
+	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !isShutdown(err) {
 		panic(fmt.Sprintf("munin: producer push %q: %v", o.meta.Name, err))
 	}
 }

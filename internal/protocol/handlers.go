@@ -3,6 +3,8 @@ package protocol
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"munin/internal/memory"
 	"munin/internal/msg"
@@ -262,22 +264,16 @@ func (n *Node) handleDiff(req *msg.Msg) {
 	n.k.Reply(req, msg.NewBuilder(8).U64(seq).Bytes())
 }
 
-// homeMergeDiff is the home-side half of the write-many protocol: apply
-// the diff to the authoritative copy, stamp it with the next update
-// sequence number, and multicast it to every other copy holder
-// (refresh). Result objects stop at the home — the collector reads the
-// merged copy there.
-func (n *Node) homeMergeDiff(id memory.ObjectID, spans []memory.Span, from msg.NodeID, alreadyApplied bool) uint64 {
+// mergeStamp applies one delayed-update diff to the authoritative home
+// copy, stamps it with the object's next update sequence number, and
+// returns the sequence plus the copy holders the update must be
+// relayed to (write-many only; result objects stop at the home — the
+// collector reads the merged copy there). The caller must hold the
+// object's relayMu.
+func (n *Node) mergeStamp(id memory.ObjectID, spans []memory.Span, from msg.NodeID, alreadyApplied bool) (uint64, []msg.NodeID) {
 	o := n.mustObj(id)
 	d := n.dirEntryOf(id)
 	n.C.Add("home.diff", 1)
-
-	// relayMu serializes the stamp+relay+ack round per object: an
-	// acknowledged diff implies every earlier diff for the object has
-	// been installed at every copy, which is what lets a flush-then-
-	// synchronize sequence guarantee visibility.
-	d.relayMu.Lock()
-	defer d.relayMu.Unlock()
 
 	d.mu.Lock()
 	o.mu.Lock()
@@ -302,18 +298,232 @@ func (n *Node) homeMergeDiff(id memory.ObjectID, spans []memory.Span, from msg.N
 	d.rereads = 0
 	o.mu.Unlock()
 	d.mu.Unlock()
+	return seq, members
+}
 
+// homeMergeDiff is the home-side half of the write-many protocol for a
+// single-object diff: merge, stamp, and multicast to every other copy
+// holder (refresh).
+func (n *Node) homeMergeDiff(id memory.ObjectID, spans []memory.Span, from msg.NodeID, alreadyApplied bool) uint64 {
+	d := n.dirEntryOf(id)
+	// relayMu serializes the stamp+relay+ack round per object: an
+	// acknowledged diff implies every earlier diff for the object has
+	// been installed at every copy, which is what lets a flush-then-
+	// synchronize sequence guarantee visibility.
+	d.relayMu.Lock()
+	defer d.relayMu.Unlock()
+
+	seq, members := n.mergeStamp(id, spans, from, alreadyApplied)
 	if len(members) == 0 {
 		return seq
 	}
 	n.C.Add("home.relay", 1)
-	b := msg.NewBuilder(32 + memory.SpanBytes(spans))
-	b.U32(uint32(id)).U64(seq).U8(uint8(Refresh))
-	memory.EncodeSpans(b, spans)
-	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !isShutdown(err) {
+	payload := encodeApply(applyEntry{id: id, seq: seq, spans: spans})
+	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !isShutdown(err) {
 		panic(fmt.Sprintf("munin: relay diff for object %d: %v", id, err))
 	}
 	return seq
+}
+
+// batchEntry is one (object, spans) element of a delayed-update batch.
+type batchEntry struct {
+	id    memory.ObjectID
+	spans []memory.Span
+}
+
+// applyEntry is one (object, sequence, spans) element of a sequenced
+// refresh — a kindApply payload, or one entry of a kindApplyBatch.
+type applyEntry struct {
+	id    memory.ObjectID
+	seq   uint64
+	spans []memory.Span
+}
+
+// encodeApply builds the single-object kindApply refresh payload.
+func encodeApply(e applyEntry) []byte {
+	b := msg.NewBuilder(32 + memory.SpanBytes(e.spans))
+	b.U32(uint32(e.id)).U64(e.seq).U8(uint8(Refresh))
+	memory.EncodeSpans(b, e.spans)
+	return b.Bytes()
+}
+
+// encodeApplyBatch builds the kindApplyBatch payload: a count followed
+// by length-prefixed entries in the given order.
+func encodeApplyBatch(entries []applyEntry) []byte {
+	b := msg.NewBuilder(64)
+	b.U32(uint32(len(entries)))
+	for _, e := range entries {
+		b.Entry(func(eb *msg.Builder) {
+			eb.U32(uint32(e.id)).U64(e.seq)
+			memory.EncodeSpans(eb, e.spans)
+		})
+	}
+	return b.Bytes()
+}
+
+// countBatch records the counters for one multi-entry batch message.
+func (n *Node) countBatch(objs int, payload []byte) {
+	n.C.Add("batch.sent", 1)
+	n.C.Add("batch.objs", int64(objs))
+	n.C.Add("batch.bytes", int64(len(payload)))
+}
+
+// homeMergeBatch merges a whole delayed-update batch in entry order
+// and redistributes the updates to the other copy holders, grouped so
+// each holder receives a single message carrying its updates in entry
+// order (per-receiver program order). It returns the assigned sequence
+// numbers, in entry order.
+func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyApplied bool) []uint64 {
+	// Hold every touched object's relayMu across the stamp+relay+ack
+	// round, exactly as the single-object path does. Lock in object-ID
+	// order: entry order is the sender's first-modification order, so
+	// two concurrent batches could otherwise lock in conflicting
+	// orders and deadlock.
+	ids := make([]memory.ObjectID, 0, len(entries))
+	for _, e := range entries {
+		ids = append(ids, e.id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	locked := make([]*dirEntry, 0, len(ids))
+	for i, id := range ids {
+		if i > 0 && id == ids[i-1] {
+			continue
+		}
+		d := n.dirEntryOf(id)
+		d.relayMu.Lock()
+		locked = append(locked, d)
+	}
+	defer func() {
+		for _, d := range locked {
+			d.relayMu.Unlock()
+		}
+	}()
+
+	seqs := make([]uint64, len(entries))
+	holderEntries := make(map[msg.NodeID][]int) // copy holder -> entry indexes
+	for i, e := range entries {
+		seq, members := n.mergeStamp(e.id, e.spans, from, alreadyApplied)
+		seqs[i] = seq
+		for _, m := range members {
+			holderEntries[m] = append(holderEntries[m], i)
+		}
+	}
+	if len(holderEntries) == 0 {
+		return seqs
+	}
+
+	// Group holders that need the identical update list so the common
+	// case — every object replicated at the same nodes — is one
+	// multicast for the whole batch.
+	groups := make(map[string][]msg.NodeID)
+	var keys []string
+	idxOf := make(map[string][]int)
+	for m, idx := range holderEntries {
+		key := fmt.Sprint(idx)
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+			idxOf[key] = idx
+		}
+		groups[key] = append(groups[key], m)
+	}
+
+	relayOne := func(members []msg.NodeID, idx []int) error {
+		n.C.Add("home.relay", 1)
+		var payload []byte
+		kind := kindApply
+		if len(idx) == 1 {
+			payload = encodeApply(applyEntry{id: entries[idx[0]].id, seq: seqs[idx[0]], spans: entries[idx[0]].spans})
+		} else {
+			kind = kindApplyBatch
+			batch := make([]applyEntry, 0, len(idx))
+			for _, i := range idx {
+				batch = append(batch, applyEntry{id: entries[i].id, seq: seqs[i], spans: entries[i].spans})
+			}
+			payload = encodeApplyBatch(batch)
+			n.countBatch(len(idx), payload)
+		}
+		if _, err := n.k.MulticastCall(members, kind, payload); err != nil && !isShutdown(err) {
+			return err
+		}
+		return nil
+	}
+
+	errc := make(chan error, len(keys))
+	if len(keys) == 1 {
+		// Common case — every object replicated at the same nodes —
+		// relays inline, no goroutine hop.
+		if err := relayOne(groups[keys[0]], idxOf[keys[0]]); err != nil {
+			errc <- err
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, key := range keys {
+			members, idx := groups[key], idxOf[key]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := relayOne(members, idx); err != nil {
+					errc <- err
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	close(errc)
+	for err := range errc {
+		panic(fmt.Sprintf("munin: relay diff batch: %v", err))
+	}
+	return seqs
+}
+
+// handleDiffBatch merges a batched flush from one sender into the home
+// copies in entry order and replies with the per-entry sequence
+// numbers (the relay excludes the sender; see handleDiff).
+func (n *Node) handleDiffBatch(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	count := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	entries := make([]batchEntry, 0, count)
+	for i := 0; i < count; i++ {
+		e := r.Entry()
+		id := memory.ObjectID(e.U32())
+		spans := memory.DecodeSpans(e)
+		if e.Err() != nil || r.Err() != nil {
+			return
+		}
+		entries = append(entries, batchEntry{id: id, spans: spans})
+	}
+	seqs := n.homeMergeBatch(entries, req.From, false)
+	b := msg.NewBuilder(4 + 8*len(seqs))
+	b.U32(uint32(len(seqs)))
+	for _, s := range seqs {
+		b.U64(s)
+	}
+	n.k.Reply(req, b.Bytes())
+}
+
+// handleApplyBatch installs a batch of sequenced refreshes at a copy,
+// in entry order, so a local reader can never observe a later entry's
+// update while missing an earlier one.
+func (n *Node) handleApplyBatch(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	count := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	for i := 0; i < count; i++ {
+		e := r.Entry()
+		id := memory.ObjectID(e.U32())
+		seq := e.U64()
+		spans := memory.DecodeSpans(e)
+		if e.Err() != nil || r.Err() != nil {
+			return
+		}
+		n.applyRefresh(n.mustObj(id), seq, spans)
+	}
+	n.k.Reply(req, nil)
 }
 
 // isShutdown reports whether an error is a benign consequence of the
@@ -350,6 +560,14 @@ func (n *Node) handleApply(req *msg.Msg) {
 		return
 	}
 
+	n.applyRefresh(o, seq, spans)
+	n.k.Reply(req, nil)
+}
+
+// applyRefresh installs one sequenced refresh at a local copy, parking
+// out-of-order updates. Shared by the single-object and batched apply
+// paths.
+func (n *Node) applyRefresh(o *Obj, seq uint64, spans []memory.Span) {
 	o.mu.Lock()
 	n.C.Add("apply.received", 1)
 	switch {
@@ -401,7 +619,6 @@ func (n *Node) handleApply(req *msg.Msg) {
 			o.mu.Unlock()
 		}
 	}
-	n.k.Reply(req, nil)
 }
 
 // handleRemRead serves a remote load (read-mostly remote mode, result

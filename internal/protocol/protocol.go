@@ -24,6 +24,7 @@ package protocol
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"munin/internal/cluster"
 	"munin/internal/dlock"
@@ -216,28 +217,40 @@ type Node struct {
 	objs map[memory.ObjectID]*Obj
 	dir  map[memory.ObjectID]*dirEntry
 
+	// serialFlush selects the legacy one-round-trip-per-object flush
+	// path instead of the batched pipeline (see FlushQueue).
+	serialFlush atomic.Bool
+
 	// Counters feeding the experiments: faults, fetches, updates...
 	C stats.Set
 }
+
+// SetSerialFlush switches this node between the batched flush pipeline
+// (default) and the legacy one-message-per-dirty-object flush. The
+// benchmarks use the serial mode to measure the batching win, and the
+// tests use it as a differential oracle.
+func (n *Node) SetSerialFlush(v bool) { n.serialFlush.Store(v) }
 
 // Message kinds (KindCohBase + n). Allocation announces are control
 // traffic (msg.KindPing range), not coherence traffic: the benchmark
 // harness separates one-time setup from steady-state sharing messages.
 const (
-	kindAlloc    = msg.KindPing + 1     // Call: install object metadata (+init data at home)
-	kindRead     = msg.KindCohBase + 1  // Call: fetch a readable copy from home
-	kindWriteOwn = msg.KindCohBase + 2  // Call: acquire exclusive ownership
-	kindInv      = msg.KindCohBase + 3  // Call: invalidate local copy (acked)
-	kindDiff     = msg.KindCohBase + 4  // Send: delayed update diff to home
-	kindFetch    = msg.KindCohBase + 5  // Call: home asks current owner for data
-	kindApply    = msg.KindCohBase + 6  // Send/multicast: apply spans (or invalidate) at copies
-	kindRemRead  = msg.KindCohBase + 7  // Call: remote load (read-mostly, result readers)
-	kindRemWrite = msg.KindCohBase + 8  // Call: remote store (read-mostly)
-	kindRegCons  = msg.KindCohBase + 9  // Call: register as consumer; reply data+seq
-	kindConsUpd  = msg.KindCohBase + 10 // Send: home tells producer the consumer set changed
-	kindEvict    = msg.KindCohBase + 11 // Send: node dropped its copy (pageout)
-	kindModeSw   = msg.KindCohBase + 12 // Send/multicast: dynamic mode switch
-	kindCohMax   = msg.KindCohBase + 0x1f
+	kindAlloc      = msg.KindPing + 1     // Call: install object metadata (+init data at home)
+	kindRead       = msg.KindCohBase + 1  // Call: fetch a readable copy from home
+	kindWriteOwn   = msg.KindCohBase + 2  // Call: acquire exclusive ownership
+	kindInv        = msg.KindCohBase + 3  // Call: invalidate local copy (acked)
+	kindDiff       = msg.KindCohBase + 4  // Send: delayed update diff to home
+	kindFetch      = msg.KindCohBase + 5  // Call: home asks current owner for data
+	kindApply      = msg.KindCohBase + 6  // Send/multicast: apply spans (or invalidate) at copies
+	kindRemRead    = msg.KindCohBase + 7  // Call: remote load (read-mostly, result readers)
+	kindRemWrite   = msg.KindCohBase + 8  // Call: remote store (read-mostly)
+	kindRegCons    = msg.KindCohBase + 9  // Call: register as consumer; reply data+seq
+	kindConsUpd    = msg.KindCohBase + 10 // Send: home tells producer the consumer set changed
+	kindEvict      = msg.KindCohBase + 11 // Send: node dropped its copy (pageout)
+	kindModeSw     = msg.KindCohBase + 12 // Send/multicast: dynamic mode switch
+	kindDiffBatch  = msg.KindCohBase + 13 // Call: batched delayed-update diffs for one home
+	kindApplyBatch = msg.KindCohBase + 14 // Call/multicast: batched sequenced refreshes at copies
+	kindCohMax     = msg.KindCohBase + 0x1f
 )
 
 // fetch sub-modes for kindFetch.
@@ -414,6 +427,10 @@ func (n *Node) dispatch(k *vkernel.Kernel, req *msg.Msg) {
 		n.handleInv(req)
 	case kindDiff:
 		n.handleDiff(req)
+	case kindDiffBatch:
+		n.handleDiffBatch(req)
+	case kindApplyBatch:
+		n.handleApplyBatch(req)
 	case kindFetch:
 		n.handleFetch(req)
 	case kindApply:
