@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	munin-bench [-nodes N] [-exp F1|T1|E1|...|all] [-json path]
+//	munin-bench [-nodes N] [-exp F1|T1|E1|...|E11|all] [-json path]
 //
 // With -json, every experiment's headline metrics are also written to
 // the given file as a JSON array, so successive runs can be archived as
@@ -40,7 +40,7 @@ func writeJSON(path string, results []*bench.Result) error {
 
 func main() {
 	nodes := flag.Int("nodes", 4, "number of simulated processors")
-	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E10, or all)")
+	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E11, or all)")
 	jsonPath := flag.String("json", "", "write experiment metrics to this file as JSON")
 	flag.Parse()
 
@@ -48,6 +48,7 @@ func main() {
 		"F1": bench.F1, "T1": bench.T1, "E1": bench.E1, "E2": bench.E2,
 		"E3": bench.E3, "E4": bench.E4, "E5": bench.E5, "E6": bench.E6,
 		"E7": bench.E7, "E8": bench.E8, "E9": bench.E9, "E10": bench.E10,
+		"E11": bench.E11,
 	}
 
 	var results []*bench.Result
@@ -56,7 +57,7 @@ func main() {
 	} else {
 		run, ok := runners[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E10, or all\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E11, or all\n", *exp)
 			os.Exit(2)
 		}
 		results = []*bench.Result{run(*nodes)}

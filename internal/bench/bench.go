@@ -47,6 +47,16 @@ func newMunin(nodes int) *core.System {
 	return s
 }
 
+// newMuninTCP builds a Munin system over real loopback sockets, for the
+// experiments that measure the wire path itself (E11).
+func newMuninTCP(nodes int) *core.System {
+	s, err := core.New(core.Config{Nodes: nodes, Transport: "tcp"})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func newIvy(nodes, page int) *ivy.System {
 	s, err := ivy.New(ivy.Config{Nodes: nodes, PageSize: page})
 	if err != nil {

@@ -173,12 +173,27 @@ func TestE10BatchedFlushIsO1(t *testing.T) {
 	}
 }
 
+func TestE11WireWritesFlatOverTCP(t *testing.T) {
+	r := E11(2)
+	// The acceptance shape: over real sockets, a batched flush of K
+	// dirty objects must stay O(1) wire writes per destination while
+	// the serial path pays one write per message (2K).
+	for _, k := range []string{"1", "4", "16", "64"} {
+		if got := r.Metrics["batched.writes."+k]; got > 3 {
+			t.Errorf("batched flush of %s objects took %v wire writes, want O(1)", k, got)
+		}
+	}
+	if s, b := r.Metrics["serial.writes.64"], r.Metrics["batched.writes.64"]; s < 16*b {
+		t.Errorf("serial writes (%v) not meaningfully above batched (%v) at K=64", s, b)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 12 {
+	if len(results) != 13 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

@@ -1,0 +1,81 @@
+package msg
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := []*Msg{
+		{Kind: KindPing, From: 0, To: 1, Seq: 7, Payload: []byte("hello")},
+		{Kind: KindCohBase + 4, Flags: FlagReply, From: 2, To: 0, Seq: 8, Payload: nil},
+		{Kind: KindSyncBase, From: 1, To: 3, Seq: 9, Payload: make([]byte, 4096)},
+	}
+	for i := range in[2].Payload {
+		in[2].Payload[i] = byte(i * 7)
+	}
+	out, err := DecodeFrame(EncodeFrameMsgs(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d messages, want %d", len(out), len(in))
+	}
+	for i, m := range out {
+		w := in[i]
+		if m.Kind != w.Kind || m.Flags != w.Flags || m.From != w.From ||
+			m.To != w.To || m.Seq != w.Seq || string(m.Payload) != string(w.Payload) {
+			t.Errorf("message %d: got %v, want %v", i, m, w)
+		}
+	}
+}
+
+func TestFrameEmptyBatch(t *testing.T) {
+	out, err := DecodeFrame(EncodeFrame(nil))
+	if err != nil {
+		t.Fatalf("decode empty frame: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty frame decoded to %d messages", len(out))
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := EncodeFrameMsgs([]*Msg{
+		{Kind: KindPing, To: 1, Seq: 1, Payload: []byte("first")},
+		{Kind: KindPing, To: 1, Seq: 2, Payload: []byte("second")},
+	})
+	// A corrupt frame must not deliver any prefix of its messages:
+	// every truncation point fails outright.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeFrame(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+func TestFrameTrailingGarbage(t *testing.T) {
+	full := EncodeFrameMsgs([]*Msg{{Kind: KindPing, To: 1, Seq: 1}})
+	if _, err := DecodeFrame(append(full, 0xee)); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+}
+
+func TestFrameOversizedCountRejected(t *testing.T) {
+	b := NewBuilder(4)
+	b.U32(MaxFrameMessages + 1)
+	_, err := DecodeFrame(b.Bytes())
+	if !errors.Is(err, ErrCodec) {
+		t.Fatalf("oversized count: err = %v, want ErrCodec", err)
+	}
+}
+
+func TestFrameCorruptEntryRejected(t *testing.T) {
+	// A well-formed envelope whose entry is not a valid Msg.
+	b := NewBuilder(16)
+	b.U32(1)
+	b.BytesN([]byte{1, 2, 3}) // shorter than a Msg header
+	if _, err := DecodeFrame(b.Bytes()); err == nil {
+		t.Fatal("corrupt entry decoded without error")
+	}
+}

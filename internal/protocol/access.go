@@ -3,10 +3,10 @@ package protocol
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/vkernel"
 
 	"munin/internal/duq"
 )
@@ -193,47 +193,114 @@ func (n *Node) flushBatched(pending []memory.ObjectID) {
 		n.C.Add("flush.pipelined", 1)
 	}
 
-	// Pipeline: distinct destinations proceed concurrently; the flush
-	// completes only when every one has acknowledged. A single
-	// destination runs inline — no goroutine hop on the common path.
-	errc := make(chan error, work)
-	var wg sync.WaitGroup
-	run := func(f func() error) {
-		if work == 1 {
-			if err := f(); err != nil {
-				errc <- err
+	// Every producer-consumer object's pushMu is taken up front, in
+	// global object-ID order (concurrent flushes from other threads
+	// lock in the same order, so overlapping dirty sets cannot
+	// deadlock), and held until the last acknowledgment: consumers see
+	// each object's sequence numbers in order, and an acknowledged push
+	// implies all earlier pushes landed.
+	var pcObjs []*Obj
+	for _, key := range pcOrder {
+		pcObjs = append(pcObjs, pcGroups[key].objs...)
+	}
+	sort.Slice(pcObjs, func(i, j int) bool { return pcObjs[i].meta.ID < pcObjs[j].meta.ID })
+	pcLocked := make(map[*Obj]bool, len(pcObjs))
+	for _, o := range pcObjs {
+		o.pushMu.Lock()
+		pcLocked[o] = true
+	}
+	unlockGroup := func(g *pcGroup) {
+		for _, o := range g.objs {
+			if pcLocked[o] {
+				o.pushMu.Unlock()
+				delete(pcLocked, o)
 			}
-			return
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := f(); err != nil {
-				errc <- err
-			}
-		}()
 	}
-	if len(local) > 0 {
-		run(func() error {
-			// Local flush at the home: the home copy already holds the
-			// bytes; just run the home-side merge + redistribution.
-			n.homeMergeBatch(local, n.id, true)
-			return nil
-		})
-	}
+	defer func() {
+		for o := range pcLocked {
+			o.pushMu.Unlock()
+		}
+	}()
+
+	// Start phase: every destination's batch is enqueued on the
+	// transport's coalescing writer — nothing blocks on the wire, so
+	// distinct destinations coalesce in the per-peer writers instead of
+	// fanning out over ad-hoc goroutines.
+	fail := func(err error) { panic(fmt.Sprintf("munin: flush: %v", err)) }
+	var diffAwaits []flushAwait
 	for _, dst := range remoteOrder {
-		dst, entries := dst, remote[dst]
-		run(func() error { return n.sendDiffBatch(dst, entries) })
+		a, err := n.startDiffBatch(dst, remote[dst])
+		if err != nil {
+			fail(err)
+		}
+		diffAwaits = append(diffAwaits, a)
 	}
+	type pcStarted struct {
+		g      *pcGroup
+		awaits []flushAwait
+	}
+	pcAwaits := make([]pcStarted, 0, len(pcOrder))
 	for _, key := range pcOrder {
 		g := pcGroups[key]
-		run(func() error { return n.pushBatch(g) })
+		as, err := n.startPushBatch(g)
+		pcAwaits = append(pcAwaits, pcStarted{g: g, awaits: as})
+		if err != nil && !isShutdown(err) {
+			fail(err)
+		}
 	}
-	wg.Wait()
-	close(errc)
-	for err := range errc {
-		panic(fmt.Sprintf("munin: flush: %v", err))
+
+	// Fence: everything started above has been handed to the wire in
+	// coalesced frames. The local home-side merge then overlaps with
+	// the remote round trips, and the flush completes only when every
+	// destination has acknowledged — the §3.2 visibility rule intact.
+	if err := n.k.Flush(); err != nil && !isShutdown(err) {
+		fail(err)
 	}
+	if len(local) > 0 {
+		// Local flush at the home: the home copy already holds the
+		// bytes; just run the home-side merge + redistribution.
+		n.homeMergeBatch(local, n.id, true)
+	}
+	settle := func(a flushAwait) {
+		replies, err := a.p.Wait()
+		if err != nil {
+			if a.benign && isShutdown(err) {
+				return
+			}
+			fail(err)
+		}
+		if a.finish != nil {
+			if err := a.finish(replies); err != nil {
+				fail(err)
+			}
+		}
+	}
+	// Producer-consumer groups settle first (in flush order), each
+	// releasing its objects' pushMu once its own acks have landed —
+	// before the write-many diff round trips are waited on. A group
+	// later in the order still waits out earlier groups' acks; fully
+	// independent release would need per-group settlement goroutines,
+	// which is exactly the fan-out this path removed.
+	for _, ps := range pcAwaits {
+		for _, a := range ps.awaits {
+			settle(a)
+		}
+		unlockGroup(ps.g)
+	}
+	for _, a := range diffAwaits {
+		settle(a)
+	}
+}
+
+// flushAwait is one started (enqueued, unacknowledged) flush emission:
+// the Pending collecting its acks, the completion that settles sequence
+// numbers from the replies, and whether shutdown errors are benign for
+// it (eager pushes, whose consumers may already be gone).
+type flushAwait struct {
+	p      *vkernel.Pending
+	finish func([]*msg.Msg) error
+	benign bool
 }
 
 // takeDiff consumes o's twin and returns the combined update spans
@@ -250,22 +317,26 @@ func (n *Node) takeDiff(o *Obj) []memory.Span {
 	return spans
 }
 
-// sendDiffBatch ships one home's planned entries. A batch of one uses
-// the single-object kindDiff message, so it costs exactly what the
-// unbatched protocol paid; larger batches collapse 2K messages (K
-// diffs + K acks) into one kindDiffBatch round trip.
-func (n *Node) sendDiffBatch(dst msg.NodeID, entries []batchEntry) error {
+// startDiffBatch enqueues one home's planned entries on the coalescing
+// writer and returns the await that settles the assigned sequence
+// numbers from the reply. A batch of one uses the single-object
+// kindDiff message, so it costs exactly what the unbatched protocol
+// paid; larger batches collapse 2K messages (K diffs + K acks) into one
+// kindDiffBatch round trip.
+func (n *Node) startDiffBatch(dst msg.NodeID, entries []batchEntry) (flushAwait, error) {
 	if len(entries) == 1 {
 		e := entries[0]
 		b := msg.NewBuilder(16 + memory.SpanBytes(e.spans))
 		b.U32(uint32(e.id))
 		memory.EncodeSpans(b, e.spans)
-		reply, err := n.k.Call(dst, kindDiff, b.Bytes())
+		p, err := n.k.CallStart(dst, kindDiff, b.Bytes())
 		if err != nil {
-			return fmt.Errorf("diff to node %d: %w", dst, err)
+			return flushAwait{}, fmt.Errorf("diff to node %d: %w", dst, err)
 		}
-		n.settleOwnDiff(e.id, msg.NewReader(reply.Payload).U64())
-		return nil
+		return flushAwait{p: p, finish: func(replies []*msg.Msg) error {
+			n.settleOwnDiff(e.id, msg.NewReader(replies[0].Payload).U64())
+			return nil
+		}}, nil
 	}
 	b := msg.NewBuilder(64)
 	b.U32(uint32(len(entries)))
@@ -276,21 +347,21 @@ func (n *Node) sendDiffBatch(dst msg.NodeID, entries []batchEntry) error {
 		})
 	}
 	payload := b.Bytes()
-	n.C.Add("batch.sent", 1)
-	n.C.Add("batch.objs", int64(len(entries)))
-	n.C.Add("batch.bytes", int64(len(payload)))
-	reply, err := n.k.Call(dst, kindDiffBatch, payload)
+	n.countBatch(len(entries), payload)
+	p, err := n.k.CallStart(dst, kindDiffBatch, payload)
 	if err != nil {
-		return fmt.Errorf("diff batch to node %d: %w", dst, err)
+		return flushAwait{}, fmt.Errorf("diff batch to node %d: %w", dst, err)
 	}
-	r := msg.NewReader(reply.Payload)
-	if cnt := int(r.U32()); cnt != len(entries) || r.Err() != nil {
-		return fmt.Errorf("diff batch to node %d: reply has %d seqs, want %d", dst, cnt, len(entries))
-	}
-	for _, e := range entries {
-		n.settleOwnDiff(e.id, r.U64())
-	}
-	return nil
+	return flushAwait{p: p, finish: func(replies []*msg.Msg) error {
+		r := msg.NewReader(replies[0].Payload)
+		if cnt := int(r.U32()); cnt != len(entries) || r.Err() != nil {
+			return fmt.Errorf("diff batch to node %d: reply has %d seqs, want %d", dst, cnt, len(entries))
+		}
+		for _, e := range entries {
+			n.settleOwnDiff(e.id, r.U64())
+		}
+		return nil
+	}}, nil
 }
 
 // settleOwnDiff advances an object's update sequence past this node's
@@ -334,25 +405,14 @@ func memberKey(members []msg.NodeID) string {
 	return fmt.Sprint(s)
 }
 
-// pushBatch multicasts one batch of producer-consumer updates to a
-// shared destination set. Each object's pushMu is held across the
-// acknowledged multicast — acquired in object-ID order so concurrent
-// overlapping batches from other threads cannot deadlock — preserving
-// flushProducer's guarantee: consumers see each object's sequence
-// numbers in order, and an acknowledged push implies all earlier
-// pushes landed.
-func (n *Node) pushBatch(g *pcGroup) error {
-	sorted := append([]*Obj(nil), g.objs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].meta.ID < sorted[j].meta.ID })
-	for _, o := range sorted {
-		o.pushMu.Lock()
-	}
-	defer func() {
-		for _, o := range sorted {
-			o.pushMu.Unlock()
-		}
-	}()
-
+// startPushBatch stamps one producer-consumer group's updates and
+// enqueues them — the shared-destination batch plus any solo pushes —
+// on the coalescing writer. The caller (flushBatched) already holds
+// every group object's pushMu and keeps holding it until the awaits
+// returned here are acknowledged, preserving flushProducer's guarantee:
+// consumers see each object's sequence numbers in order, and an
+// acknowledged push implies all earlier pushes landed.
+func (n *Node) startPushBatch(g *pcGroup) ([]flushAwait, error) {
 	groupKey := memberKey(g.members)
 	type solo struct {
 		members []msg.NodeID
@@ -397,7 +457,9 @@ func (n *Node) pushBatch(g *pcGroup) error {
 	}
 
 	// Acknowledged eager pushes: consumers never wait for data, the
-	// producer pays the wait at its own synchronization point.
+	// producer pays the wait at its own synchronization point (the
+	// awaits returned to flushBatched).
+	var awaits []flushAwait
 	if len(batch) > 0 {
 		kind := kindApply
 		var payload []byte
@@ -408,16 +470,20 @@ func (n *Node) pushBatch(g *pcGroup) error {
 			payload = encodeApplyBatch(batch)
 			n.countBatch(len(batch), payload)
 		}
-		if _, err := n.k.MulticastCall(g.members, kind, payload); err != nil && !isShutdown(err) {
-			return fmt.Errorf("producer push: %w", err)
+		p, err := n.k.MulticastCallStart(g.members, kind, payload)
+		if err != nil {
+			return awaits, fmt.Errorf("producer push: %w", err)
 		}
+		awaits = append(awaits, flushAwait{p: p, benign: true})
 	}
 	for _, s := range solos {
-		if _, err := n.k.MulticastCall(s.members, kindApply, encodeApply(s.entry)); err != nil && !isShutdown(err) {
-			return fmt.Errorf("producer push: %w", err)
+		p, err := n.k.MulticastCallStart(s.members, kindApply, encodeApply(s.entry))
+		if err != nil {
+			return awaits, fmt.Errorf("producer push: %w", err)
 		}
+		awaits = append(awaits, flushAwait{p: p, benign: true})
 	}
-	return nil
+	return awaits, nil
 }
 
 // ---------------------------------------------------------------------

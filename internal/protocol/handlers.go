@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"munin/internal/memory"
 	"munin/internal/msg"
@@ -427,7 +426,13 @@ func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyAppl
 		groups[key] = append(groups[key], m)
 	}
 
-	relayOne := func(members []msg.NodeID, idx []int) error {
+	// Start every holder group's relay on the coalescing writer, then
+	// collect the acks: distinct groups overlap in the per-peer writers
+	// (a holder appearing in several groups receives them in one frame)
+	// with no goroutine hop per group.
+	pends := make([]*vkernel.Pending, 0, len(keys))
+	for _, key := range keys {
+		members, idx := groups[key], idxOf[key]
 		n.C.Add("home.relay", 1)
 		var payload []byte
 		kind := kindApply
@@ -442,36 +447,16 @@ func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyAppl
 			payload = encodeApplyBatch(batch)
 			n.countBatch(len(idx), payload)
 		}
-		if _, err := n.k.MulticastCall(members, kind, payload); err != nil && !isShutdown(err) {
-			return err
+		p, err := n.k.MulticastCallStart(members, kind, payload)
+		if err != nil && !isShutdown(err) {
+			panic(fmt.Sprintf("munin: relay diff batch: %v", err))
 		}
-		return nil
+		pends = append(pends, p)
 	}
-
-	errc := make(chan error, len(keys))
-	if len(keys) == 1 {
-		// Common case — every object replicated at the same nodes —
-		// relays inline, no goroutine hop.
-		if err := relayOne(groups[keys[0]], idxOf[keys[0]]); err != nil {
-			errc <- err
+	for _, p := range pends {
+		if _, err := p.Wait(); err != nil && !isShutdown(err) {
+			panic(fmt.Sprintf("munin: relay diff batch: %v", err))
 		}
-	} else {
-		var wg sync.WaitGroup
-		for _, key := range keys {
-			members, idx := groups[key], idxOf[key]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				if err := relayOne(members, idx); err != nil {
-					errc <- err
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	close(errc)
-	for err := range errc {
-		panic(fmt.Sprintf("munin: relay diff batch: %v", err))
 	}
 	return seqs
 }

@@ -206,6 +206,21 @@ type dirEntry struct {
 	updModeSet bool
 }
 
+// objStripes is the number of lock stripes over the per-node object and
+// directory maps. A power of two so the stripe index is a mask; 32 is
+// comfortably above any plausible per-node concurrency here while
+// keeping the fixed footprint trivial.
+const objStripes = 32
+
+// objStripe is one stripe of the per-node object/directory tables: its
+// mutex guards only map membership for the IDs that hash to it, never
+// the objects themselves (Obj and dirEntry carry their own locks).
+type objStripe struct {
+	mu   sync.Mutex
+	objs map[memory.ObjectID]*Obj
+	dir  map[memory.ObjectID]*dirEntry
+}
+
 // Node is the per-processor Munin server.
 type Node struct {
 	k     *vkernel.Kernel
@@ -213,9 +228,11 @@ type Node struct {
 	id    msg.NodeID
 	nodes int
 
-	mu   sync.Mutex
-	objs map[memory.ObjectID]*Obj
-	dir  map[memory.ObjectID]*dirEntry
+	// stripes holds the object and directory tables, lock-striped by
+	// ObjectID: every fault, diff merge, and relay does at least one
+	// lookup here, and a single map mutex would serialize unrelated
+	// objects' hot paths as object and node counts grow.
+	stripes [objStripes]objStripe
 
 	// serialFlush selects the legacy one-round-trip-per-object flush
 	// path instead of the batched pipeline (see FlushQueue).
@@ -223,6 +240,11 @@ type Node struct {
 
 	// Counters feeding the experiments: faults, fetches, updates...
 	C stats.Set
+}
+
+// stripeOf returns the stripe owning id's table entries.
+func (n *Node) stripeOf(id memory.ObjectID) *objStripe {
+	return &n.stripes[uint64(id)&(objStripes-1)]
 }
 
 // SetSerialFlush switches this node between the batched flush pipeline
@@ -269,8 +291,10 @@ func NewNode(k *vkernel.Kernel, locks *dlock.Service) *Node {
 		locks: locks,
 		id:    k.Node(),
 		nodes: k.Nodes(),
-		objs:  make(map[memory.ObjectID]*Obj),
-		dir:   make(map[memory.ObjectID]*dirEntry),
+	}
+	for i := range n.stripes {
+		n.stripes[i].objs = make(map[memory.ObjectID]*Obj)
+		n.stripes[i].dir = make(map[memory.ObjectID]*dirEntry)
 	}
 	k.Handle(kindAlloc, kindAlloc, n.dispatch)
 	k.Handle(kindRead, kindCohMax, n.dispatch)
@@ -291,9 +315,10 @@ func (n *Node) homeOf(m *Meta) msg.NodeID {
 // obj returns the local view of id, or nil if the object was never
 // allocated (announced) here.
 func (n *Node) obj(id memory.ObjectID) *Obj {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.objs[id]
+	s := n.stripeOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objs[id]
 }
 
 // mustObj panics if the object is unknown — accessing unallocated
@@ -307,12 +332,13 @@ func (n *Node) mustObj(id memory.ObjectID) *Obj {
 }
 
 func (n *Node) dirEntryOf(id memory.ObjectID) *dirEntry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	d, ok := n.dir[id]
+	s := n.stripeOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.dir[id]
 	if !ok {
 		d = &dirEntry{owner: n.id, copyset: make(map[msg.NodeID]bool), producer: -1}
-		n.dir[id] = d
+		s.dir[id] = d
 	}
 	return d
 }
@@ -379,9 +405,10 @@ func (n *Node) install(meta Meta, init []byte) {
 			o.state = Invalid
 		}
 	}
-	n.mu.Lock()
-	n.objs[meta.ID] = o
-	n.mu.Unlock()
+	s := n.stripeOf(meta.ID)
+	s.mu.Lock()
+	s.objs[meta.ID] = o
+	s.mu.Unlock()
 	if home == n.id {
 		d := n.dirEntryOf(meta.ID)
 		d.mu.Lock()

@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"munin/internal/cluster"
+	"munin/internal/dlock"
+	"munin/internal/duq"
+	"munin/internal/memory"
+	"munin/internal/msg"
+)
+
+// newTCPRig is newRig over real loopback sockets, so the protocol's
+// batched emission is exercised against the transport's coalescing
+// writer pipeline rather than the in-process queues.
+func newTCPRig(t *testing.T, n int) *rig {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Nodes: n, Transport: "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{c: c}
+	for i := 0; i < n; i++ {
+		k := c.Kernel(msg.NodeID(i))
+		ls := dlock.NewService(k)
+		r.locks = append(r.locks, ls)
+		r.nodes = append(r.nodes, NewNode(k, ls))
+	}
+	t.Cleanup(c.Close)
+	return r
+}
+
+// TestBatchedFlushOverTCPIsOneWrite is the wire-level half of the
+// batching claim: over real sockets, flushing K dirty write-many
+// objects homed on one remote node must cost O(1) write syscalls (the
+// batch leaves as one coalesced frame, the ack as another), not one
+// write per message.
+func TestBatchedFlushOverTCPIsOneWrite(t *testing.T) {
+	const K = 8
+	r := newTCPRig(t, 2)
+	opts := DefaultOptions()
+	opts.Home = 0
+	for i := 1; i <= K; i++ {
+		r.alloc(memory.ObjectID(i), fmt.Sprintf("wm%d", i), 8, WriteMany, opts, nil)
+	}
+	q := duq.New()
+	for i := 1; i <= K; i++ {
+		r.nodes[1].Write(q, memory.ObjectID(i), 0, u64bytes(uint64(i)*10))
+	}
+	st := r.c.Stats()
+	beforeMsgs, beforeWrites := st.Messages(), st.WireWrites()
+	r.nodes[1].FlushQueue(q)
+	if sent := st.Messages() - beforeMsgs; sent != 2 {
+		t.Fatalf("batched flush of %d objects sent %d messages, want 2", K, sent)
+	}
+	if w := st.WireWrites() - beforeWrites; w > 3 {
+		t.Fatalf("batched flush of %d objects took %d wire writes, want O(1)", K, w)
+	}
+	for i := 1; i <= K; i++ {
+		if got := readU64(r.nodes[0], q, memory.ObjectID(i), 0); got != uint64(i)*10 {
+			t.Fatalf("home object %d = %d, want %d", i, got, i*10)
+		}
+	}
+}
+
+// TestConcurrentFlushesOverTCP drives multi-home, multi-thread flush
+// traffic over the socket backend: three nodes, objects homed on every
+// node, two writer threads per non-home node flushing concurrently.
+// Everything must converge and nothing may deadlock in the per-peer
+// writers — this is the test the CI race step leans on.
+func TestConcurrentFlushesOverTCP(t *testing.T) {
+	const objs = 12
+	const rounds = 5
+	r := newTCPRig(t, 3)
+	for i := 1; i <= objs; i++ {
+		opts := DefaultOptions()
+		opts.Home = msg.NodeID(i % 3)
+		r.alloc(memory.ObjectID(i), fmt.Sprintf("wm%d", i), 8, WriteMany, opts, nil)
+	}
+	var wg sync.WaitGroup
+	for node := 1; node <= 2; node++ {
+		for th := 0; th < 2; th++ {
+			wg.Add(1)
+			go func(node, th int) {
+				defer wg.Done()
+				q := duq.New()
+				for round := 0; round < rounds; round++ {
+					// Each worker owns a disjoint byte lane per object so
+					// concurrent updates never overlap (write-many allows
+					// either value on races; disjoint lanes make the
+					// final state checkable).
+					lane := (node-1)*2 + th
+					for i := 1; i <= objs; i++ {
+						r.nodes[node].Write(q, memory.ObjectID(i), lane, []byte{byte(round + 1)})
+					}
+					r.nodes[node].FlushQueue(q)
+				}
+			}(node, th)
+		}
+	}
+	wg.Wait()
+	// Every copy holder converged on every lane's final round.
+	for i := 1; i <= objs; i++ {
+		for node := 0; node < 3; node++ {
+			buf := make([]byte, 4)
+			r.nodes[node].Read(duq.New(), memory.ObjectID(i), 0, buf)
+			for lane := 0; lane < 4; lane++ {
+				if buf[lane] != rounds {
+					t.Fatalf("node %d object %d lane %d = %d, want %d",
+						node, i, lane, buf[lane], rounds)
+				}
+			}
+		}
+	}
+}

@@ -47,6 +47,7 @@ func (n *ChanNetwork) Multicast(m *msg.Msg, members []msg.NodeID) error {
 	m.Flags |= msg.FlagMulticast
 	buf := m.Marshal()
 	n.stats.charge(m, n.cost, m.From)
+	n.stats.chargeWire(1, nil)
 	for _, dst := range members {
 		if int(dst) >= len(n.eps) || dst < 0 {
 			return fmt.Errorf("transport: multicast to unknown node %d", dst)
@@ -85,12 +86,22 @@ func (e *chanEndpoint) Send(m *msg.Msg) error {
 	m.From = e.node
 	buf := m.Marshal()
 	e.net.stats.charge(m, e.net.cost, e.node)
+	// In-process delivery is one queue push — the chan transport's
+	// "wire write". Charging it keeps the wire counters comparable
+	// across backends (no coalescing to observe here: the win the TCP
+	// writer pipeline buys is exactly what this substrate gets for
+	// free).
+	e.net.stats.chargeWire(1, nil)
 	if err := e.net.eps[m.To].q.push(buf); err != nil {
 		return err
 	}
 	e.net.stats.delivered(m.To)
 	return nil
 }
+
+// Flush implements Endpoint. Sends are delivered synchronously, so the
+// fence is trivially satisfied.
+func (e *chanEndpoint) Flush() error { return nil }
 
 func (e *chanEndpoint) Recv() (*msg.Msg, error) {
 	buf, err := e.q.pop()

@@ -11,19 +11,29 @@ import (
 	"munin/internal/msg"
 )
 
+// sendQueueDepth bounds each peer connection's send queue, in messages.
+// Send blocks (backpressure) when the queue is full; fences never
+// count against the bound.
+const sendQueueDepth = 1024
+
 // TCPNetwork runs the same message abstraction over real loopback
-// sockets. Each node pair shares one TCP connection; frames are
-// length-prefixed. It exists to demonstrate the runtime is not tied to
-// the in-process simulation and to exercise the codec against a real
-// byte stream.
+// sockets. Every node pair has a dedicated TCP connection owned by a
+// writer goroutine: senders enqueue marshalled messages on a bounded
+// per-peer send queue, and the writer drains whatever is queued and
+// emits it as ONE multi-message frame (msg.EncodeFrame layout) via a
+// single vectored write (net.Buffers). That is what keeps a batched
+// protocol flush at O(1) wire writes per destination instead of one
+// write syscall per message. Flush is the fence that waits for queued
+// messages to reach the wire.
 type TCPNetwork struct {
-	eps    []*tcpEndpoint
-	stats  *Stats
-	cost   CostModel
-	ln     net.Listener
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	eps      []*tcpEndpoint
+	stats    *Stats
+	cost     CostModel
+	ln       net.Listener
+	mu       sync.Mutex
+	closed   bool
+	wg       sync.WaitGroup // accept loop + per-conn readers
+	writerWG sync.WaitGroup // per-peer writer goroutines
 }
 
 // NewTCPNetwork creates an n-node network over loopback TCP. All nodes
@@ -42,8 +52,9 @@ func NewTCPNetwork(n int, cost CostModel) (*TCPNetwork, error) {
 		tn.eps[i] = &tcpEndpoint{net: tn, node: msg.NodeID(i), q: newQueue()}
 	}
 
-	// Accept loop: each inbound connection carries frames from one
-	// sender; frames are routed to destination queues by header.
+	// Accept loop: each inbound connection carries one sender->receiver
+	// stream of frames; messages are routed to destination queues by
+	// their headers.
 	tn.wg.Add(1)
 	go func() {
 		defer tn.wg.Done()
@@ -60,21 +71,30 @@ func NewTCPNetwork(n int, cost CostModel) (*TCPNetwork, error) {
 		}
 	}()
 
-	// Each node dials one outgoing connection used for all its sends.
+	// Each node dials one connection per peer; each connection gets a
+	// bounded send queue and a dedicated writer goroutine.
 	for i := range tn.eps {
-		conn, err := net.Dial("tcp", ln.Addr().String())
-		if err != nil {
-			tn.Close()
-			return nil, err
+		tn.eps[i].peers = make([]*tcpPeer, n)
+		for j := range tn.eps[i].peers {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				tn.Close()
+				return nil, err
+			}
+			p := &tcpPeer{conn: conn, q: newSendQueue(sendQueueDepth)}
+			tn.eps[i].peers[j] = p
+			tn.writerWG.Add(1)
+			go func(ep *tcpEndpoint) {
+				defer tn.writerWG.Done()
+				ep.writeLoop(p)
+			}(tn.eps[i])
 		}
-		tn.eps[i].conn = conn
-		tn.eps[i].w = bufio.NewWriter(conn)
 	}
 	return tn, nil
 }
 
-// serveConn reads frames from one sender connection and routes them to
-// destination queues.
+// serveConn reads frames from one sender connection and routes the
+// contained messages to destination queues.
 func (tn *TCPNetwork) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
@@ -91,15 +111,21 @@ func (tn *TCPNetwork) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(r, frame); err != nil {
 			return
 		}
-		m, err := msg.Unmarshal(frame)
+		entries, err := msg.DecodeFrameRaw(frame)
 		if err != nil {
 			return
 		}
-		if int(m.To) >= len(tn.eps) || m.To < 0 {
-			continue
-		}
-		if tn.eps[m.To].q.push(frame) == nil {
-			tn.stats.delivered(m.To)
+		for _, entry := range entries {
+			m, err := msg.Unmarshal(entry)
+			if err != nil {
+				return
+			}
+			if int(m.To) >= len(tn.eps) || m.To < 0 {
+				continue
+			}
+			if tn.eps[m.To].q.push(entry) == nil {
+				tn.stats.delivered(m.To)
+			}
 		}
 	}
 }
@@ -115,7 +141,9 @@ func (tn *TCPNetwork) Stats() *Stats { return tn.stats }
 
 // Multicast falls back to unicast sends (no hardware multicast on TCP),
 // charging one wire message per member — exactly the penalty the paper
-// notes for refresh without multicast support.
+// notes for refresh without multicast support. The copies are enqueued,
+// not flushed: each member's writer coalesces its copy with whatever
+// else is bound for that peer.
 func (tn *TCPNetwork) Multicast(m *msg.Msg, members []msg.NodeID) error {
 	for _, dst := range members {
 		cp := *m
@@ -127,7 +155,16 @@ func (tn *TCPNetwork) Multicast(m *msg.Msg, members []msg.NodeID) error {
 	return nil
 }
 
-// Close implements Network.
+// Close shuts the network down in an order that quiesces the writer
+// pipeline deterministically:
+//
+//  1. send queues close — blocked or late senders get ErrClosed;
+//  2. writers drain what was already queued onto the wire and exit, so
+//     nothing ever writes on a closed connection;
+//  3. the write sides shut down, giving each reader a clean EOF after
+//     it has consumed every drained frame;
+//  4. readers exit, having routed everything that made it to the wire;
+//  5. receive queues close — blocked Recv calls return ErrClosed.
 func (tn *TCPNetwork) Close() error {
 	tn.mu.Lock()
 	if tn.closed {
@@ -136,48 +173,92 @@ func (tn *TCPNetwork) Close() error {
 	}
 	tn.closed = true
 	tn.mu.Unlock()
+
+	for _, ep := range tn.eps {
+		for _, p := range ep.peers {
+			if p != nil {
+				p.q.close()
+			}
+		}
+	}
+	tn.writerWG.Wait()
+	for _, ep := range tn.eps {
+		for _, p := range ep.peers {
+			if p == nil {
+				continue
+			}
+			if tc, ok := p.conn.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				p.conn.Close()
+			}
+		}
+	}
 	tn.ln.Close()
+	tn.wg.Wait()
 	for _, ep := range tn.eps {
 		ep.q.close()
-		ep.mu.Lock()
-		if ep.conn != nil {
-			ep.conn.Close()
-		}
-		ep.mu.Unlock()
 	}
-	tn.wg.Wait()
+	for _, ep := range tn.eps {
+		for _, p := range ep.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	}
 	return nil
 }
 
 type tcpEndpoint struct {
-	net  *TCPNetwork
-	node msg.NodeID
-	q    *queue
-	mu   sync.Mutex
+	net   *TCPNetwork
+	node  msg.NodeID
+	q     *queue     // receive side
+	peers []*tcpPeer // outgoing pipeline, one per destination node
+}
+
+// tcpPeer is one node's outgoing connection to one peer: a bounded send
+// queue drained by a dedicated writer goroutine.
+type tcpPeer struct {
 	conn net.Conn
-	w    *bufio.Writer
+	q    *sendQueue
 }
 
 func (e *tcpEndpoint) Node() msg.NodeID { return e.node }
 
+// Send implements Endpoint: marshal, charge, and queue on the
+// destination peer's writer, which coalesces the message with whatever
+// else is bound for that peer. It does not wait for the wire — Flush
+// is the fence.
 func (e *tcpEndpoint) Send(m *msg.Msg) error {
+	if int(m.To) >= len(e.peers) || m.To < 0 {
+		return fmt.Errorf("transport: send to unknown node %d", m.To)
+	}
 	m.From = e.node
-	frame := m.Marshal()
+	enc := m.Marshal()
 	e.net.stats.charge(m, e.net.cost, e.node)
-	var lenbuf [4]byte
-	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(frame)))
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.conn == nil {
-		return ErrClosed
+	return e.peers[m.To].q.put(sendItem{enc: enc, class: ClassOf(m.Kind)})
+}
+
+// Flush implements Endpoint: fence every peer queue and wait until all
+// messages enqueued before the call have been written to the sockets.
+func (e *tcpEndpoint) Flush() error {
+	fences := make([]chan error, 0, len(e.peers))
+	for _, p := range e.peers {
+		ch := make(chan error, 1)
+		if err := p.q.put(sendItem{fence: ch}); err != nil {
+			// Queue already closed: nothing of ours remains unwritten
+			// beyond what the shutdown drain handles.
+			return err
+		}
+		fences = append(fences, ch)
 	}
-	if _, err := e.w.Write(lenbuf[:]); err != nil {
-		return err
+	var first error
+	for _, ch := range fences {
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
 	}
-	if _, err := e.w.Write(frame); err != nil {
-		return err
-	}
-	return e.w.Flush()
+	return first
 }
 
 func (e *tcpEndpoint) Recv() (*msg.Msg, error) {
@@ -186,4 +267,232 @@ func (e *tcpEndpoint) Recv() (*msg.Msg, error) {
 		return nil, err
 	}
 	return msg.Unmarshal(buf)
+}
+
+// writeLoop is one peer connection's writer: it drains whatever is
+// queued and emits it as one vectored write, then satisfies any fences
+// that were queued behind those messages. A write error is latched on
+// the queue: the failed batch's messages are gone, so every later send
+// or fence on this peer must fail loudly rather than let callers wait
+// for replies that can never come.
+func (e *tcpEndpoint) writeLoop(p *tcpPeer) {
+	for {
+		items, ok := p.q.drain()
+		if len(items) > 0 {
+			err := p.q.err()
+			if err == nil {
+				if err = e.writeBatch(p, items); err != nil {
+					p.q.fail(err)
+				}
+			}
+			for _, it := range items {
+				if it.fence != nil {
+					it.fence <- err
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// writeBatch emits every message in items as frame envelopes — split
+// only by the msg.MaxFrameMessages cap — issued to the socket as a
+// single vectored write.
+func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
+	var (
+		bufs net.Buffers
+		hdr  []byte // backing storage for frame headers and prefixes
+	)
+	count := 0
+	for _, it := range items {
+		if it.enc != nil {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+
+	// Lay the frames out. Each frame contributes [4B outer length]
+	// [4B message count], then per message [uvarint length][bytes]; the
+	// headers and prefixes live in hdr and the message bytes are
+	// referenced in place, so the whole batch goes out without copying
+	// payloads.
+	frames := (count + msg.MaxFrameMessages - 1) / msg.MaxFrameMessages
+	hdr = make([]byte, 0, 8*frames+5*count)
+	i := 0
+	var shared []string
+	for f := 0; f < frames; f++ {
+		k := count - f*msg.MaxFrameMessages
+		if k > msg.MaxFrameMessages {
+			k = msg.MaxFrameMessages
+		}
+		// Outer length = frame header + per-message prefixes + bodies.
+		frameLen := 4
+		j := i
+		for n := 0; n < k; n++ {
+			for items[j].enc == nil {
+				j++
+			}
+			frameLen += uvarintLen(len(items[j].enc)) + len(items[j].enc)
+			j++
+		}
+		mark := len(hdr)
+		hdr = binary.BigEndian.AppendUint32(hdr, uint32(frameLen))
+		hdr = msg.AppendFrameHeader(hdr, k)
+		bufs = append(bufs, hdr[mark:])
+		for n := 0; n < k; n++ {
+			for items[i].enc == nil {
+				i++
+			}
+			mark = len(hdr)
+			hdr = msg.AppendEntryPrefix(hdr, len(items[i].enc))
+			bufs = append(bufs, hdr[mark:], items[i].enc)
+			if k > 1 {
+				shared = append(shared, items[i].class)
+			}
+			i++
+		}
+	}
+
+	if _, err := bufs.WriteTo(p.conn); err != nil {
+		if e.net.isClosed() {
+			return ErrClosed
+		}
+		return err
+	}
+	// One wire.writes tick per successful WriteTo. That is one write
+	// *operation*; the OS may split very large iovec lists (IOV_MAX)
+	// into a few syscalls, which this counter deliberately does not
+	// model — it measures the coalescing, not the kernel's chunking.
+	e.net.stats.chargeWire(frames, shared)
+	return nil
+}
+
+func (tn *TCPNetwork) isClosed() bool {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return tn.closed
+}
+
+// uvarintLen returns the encoded size of n as a uvarint.
+func uvarintLen(n int) int {
+	l := 1
+	for v := uint64(n); v >= 0x80; v >>= 7 {
+		l++
+	}
+	return l
+}
+
+// sendItem is one unit in a peer's send queue: a marshalled message,
+// or a fence awaiting write completion of everything queued before it.
+type sendItem struct {
+	enc   []byte // marshalled message; nil for a fence
+	class string // traffic class, for coalescing accounting
+	fence chan error
+}
+
+// sendQueue is the bounded MPSC queue feeding one peer connection's
+// writer goroutine.
+type sendQueue struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []sendItem
+	queued   int // message items only; fences are exempt from the bound
+	limit    int
+	closed   bool
+	failed   error // latched first write error; the peer is dead
+	held     bool  // test hook: writer pauses so tests can stage a batch
+}
+
+func newSendQueue(limit int) *sendQueue {
+	q := &sendQueue{limit: limit}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// put appends an item, blocking while the queue is at its bound. A
+// sender blocked here when the queue closes is woken with ErrClosed; a
+// latched write error fails the send immediately (the peer is dead and
+// the writer only discards).
+func (q *sendQueue) put(it sendItem) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	if q.failed != nil {
+		return q.failed
+	}
+	q.items = append(q.items, it)
+	if it.enc != nil {
+		q.queued++
+	}
+	q.notEmpty.Signal()
+	return nil
+}
+
+// drain removes and returns everything queued. It blocks while the
+// queue is empty (or held by the test hook). ok=false means the queue
+// is closed AND fully drained: the writer must exit after handling the
+// returned items — already-queued messages still reach the wire, which
+// is what makes shutdown deterministic.
+func (q *sendQueue) drain() (items []sendItem, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for (len(q.items) == 0 || q.held) && !q.closed {
+		q.notEmpty.Wait()
+	}
+	items = q.items
+	q.items = nil
+	q.queued = 0
+	q.notFull.Broadcast()
+	return items, !q.closed || len(items) > 0
+}
+
+func (q *sendQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
+}
+
+// fail latches the first write error and wakes blocked senders so they
+// observe it.
+func (q *sendQueue) fail(err error) {
+	q.mu.Lock()
+	if q.failed == nil {
+		q.failed = err
+	}
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// err returns the latched write error, if any.
+func (q *sendQueue) err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failed
+}
+
+// hold/release pause and resume the writer's draining (tests only).
+func (q *sendQueue) hold() {
+	q.mu.Lock()
+	q.held = true
+	q.mu.Unlock()
+}
+
+func (q *sendQueue) release() {
+	q.mu.Lock()
+	q.held = false
+	q.notEmpty.Broadcast()
+	q.mu.Unlock()
 }

@@ -12,11 +12,46 @@
 //     network time rather than slept, so benchmarks stay fast.
 //   - TCPNetwork: real sockets over loopback (package net), used to
 //     demonstrate that the runtime's messaging layer works over an actual
-//     network stack.
+//     network stack and to measure it at syscall granularity.
 //
-// Both count messages and bytes per node and per traffic class; the
-// benchmark harness reads these counters to regenerate the paper's
-// traffic comparisons.
+// # The writer pipeline
+//
+// Sending is asynchronous and coalescing. On TCPNetwork every node pair
+// has a dedicated connection owned by a writer goroutine fed from a
+// bounded send queue: Send marshals the message and queues it without
+// waiting; the writer drains whatever has accumulated for
+// that peer and emits it as one multi-message frame (see msg.EncodeFrame)
+// through a single vectored write (net.Buffers). A batched protocol
+// flush therefore costs O(1) write syscalls per destination no matter
+// how many messages it carries — the same software-overhead
+// amortization Munin's delayed-update queue performs at the protocol
+// level, applied to the wire.
+//
+// Flush is the fence: it returns once everything the endpoint enqueued
+// before the call has been written to the sockets. It deliberately does
+// NOT imply remote processing; protocols that need the paper's
+// ack-awaited flush semantics enqueue, fence, and then wait for replies
+// (vkernel.Pending), which keeps the visibility guarantee while letting
+// all destinations' traffic leave in coalesced frames. ChanNetwork
+// implements the same interface trivially — its queue push already
+// delivers whole batches instantly, so Flush is a no-op.
+//
+// Closing a TCPNetwork quiesces the pipeline deterministically: send
+// queues close first (blocked senders get ErrClosed), writers drain
+// what was already queued onto the wire and exit — nothing ever writes
+// on a closed connection — and readers consume every drained frame
+// before receive queues report ErrClosed.
+//
+// Choosing a substrate: ChanNetwork for experiments, unit tests, and
+// anything that wants modeled network costs without real latency;
+// TCPNetwork when the measurement is about the wire itself (write
+// syscalls, framing, coalescing — bench E11) or to validate against a
+// real byte stream.
+//
+// Both count messages and bytes per node and per traffic class, plus
+// wire-level counters (wire.writes, wire.frames, wire.coalesced) that
+// make the coalescing observable; the benchmark harness reads these
+// counters to regenerate the paper's traffic comparisons.
 package transport
 
 import (
@@ -33,13 +68,28 @@ import (
 var ErrClosed = errors.New("transport: closed")
 
 // Endpoint is one node's attachment to the network.
+//
+// Sends are asynchronous: Send is a non-blocking enqueue onto the
+// transport's outgoing path; on TCPNetwork a per-peer writer goroutine
+// coalesces everything queued for a peer into one wire frame and emits
+// it with a single vectored write. Flush is the completion fence: it
+// returns once every message this endpoint enqueued before the call
+// has been handed to the wire, which is what lets a protocol enqueue a
+// whole batched flush and then fence once.
 type Endpoint interface {
 	// Node returns the node this endpoint belongs to.
 	Node() msg.NodeID
-	// Send transmits m to m.To. It never blocks on the receiver
-	// (queues are effectively unbounded); it fails only if the
-	// network is closed or the destination does not exist.
+	// Send enqueues m for transmission to m.To. It does not wait for
+	// the message to reach the wire (use Flush to fence); it may block
+	// briefly on a full bounded send queue, and fails only if the
+	// network is closed, the destination does not exist, or the peer's
+	// wire previously failed.
 	Send(m *msg.Msg) error
+	// Flush blocks until every message enqueued by this endpoint
+	// before the call has been written to the underlying wire. It does
+	// NOT wait for delivery or processing at the receiver — protocols
+	// that need acknowledgement wait for replies on top of this fence.
+	Flush() error
 	// Recv blocks until a message arrives or the endpoint is closed.
 	Recv() (*msg.Msg, error)
 }
@@ -166,6 +216,36 @@ func (s *Stats) charge(m *msg.Msg, cost CostModel, from msg.NodeID) {
 	s.byClass.Add(ClassOf(m.Kind), 1)
 	s.byClass.Add(ClassOf(m.Kind)+".bytes", int64(size))
 }
+
+// chargeWire records one coalesced wire emission: frames frame
+// envelopes issued as a single write. sharedClasses holds the traffic
+// class of every message that rode in a frame with at least one other
+// message — the coalescing the batched flush is supposed to produce,
+// counted per class so it stays observable.
+func (s *Stats) chargeWire(frames int, sharedClasses []string) {
+	s.byClass.Add("wire.writes", 1)
+	s.byClass.Add("wire.frames", int64(frames))
+	if len(sharedClasses) > 0 {
+		s.byClass.Add("wire.coalesced", int64(len(sharedClasses)))
+		for _, c := range sharedClasses {
+			s.byClass.Add("wire.coalesced."+c, 1)
+		}
+	}
+}
+
+// WireWrites returns the number of coalesced write operations issued to
+// the underlying wire: one per successful vectored write on TCP (the OS
+// may split an enormous iovec list at IOV_MAX; that kernel-level
+// chunking is not modeled), one per message on the chan transport,
+// which has no wire to coalesce for.
+func (s *Stats) WireWrites() int64 { return s.byClass.Get("wire.writes") }
+
+// WireFrames returns the number of frame envelopes emitted.
+func (s *Stats) WireFrames() int64 { return s.byClass.Get("wire.frames") }
+
+// WireCoalesced returns the number of messages that shared a wire frame
+// with at least one other message.
+func (s *Stats) WireCoalesced() int64 { return s.byClass.Get("wire.coalesced") }
 
 // ClassMessages returns the message count for one traffic class.
 func (s *Stats) ClassMessages(class string) int64 { return s.byClass.Get(class) }

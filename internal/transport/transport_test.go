@@ -215,6 +215,179 @@ func TestMulticastUnicastFallbackOnTCP(t *testing.T) {
 	}
 }
 
+// TestTCPCoalescesQueuedMessages stages N messages for one peer while
+// its writer is held, then releases it: everything queued must leave in
+// one vectored write (one frame) and still arrive complete and in
+// order.
+func TestTCPCoalescesQueuedMessages(t *testing.T) {
+	tcp, err := NewTCPNetwork(2, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	ep := tcp.eps[0]
+	peer := ep.peers[1]
+
+	peer.q.hold()
+	const n = 50
+	for i := 0; i < n; i++ {
+		m := &msg.Msg{Kind: msg.KindCohBase, To: 1, Seq: uint64(i), Payload: []byte("diff")}
+		if err := ep.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseWrites := tcp.Stats().WireWrites()
+	baseFrames := tcp.Stats().WireFrames()
+	peer.q.release()
+	if err := ep.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	for i := 0; i < n; i++ {
+		got, err := tcp.Endpoint(1).Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != uint64(i) || string(got.Payload) != "diff" {
+			t.Fatalf("message %d: got %v", i, got)
+		}
+	}
+	if w := tcp.Stats().WireWrites() - baseWrites; w != 1 {
+		t.Errorf("%d queued messages took %d wire writes, want 1", n, w)
+	}
+	if f := tcp.Stats().WireFrames() - baseFrames; f != 1 {
+		t.Errorf("%d queued messages took %d frames, want 1", n, f)
+	}
+	if c := tcp.Stats().WireCoalesced(); c < n {
+		t.Errorf("wire.coalesced = %d, want >= %d", c, n)
+	}
+	if c := tcp.Stats().ClassMessages("wire.coalesced.coherence"); c < n {
+		t.Errorf("wire.coalesced.coherence = %d, want >= %d", c, n)
+	}
+}
+
+// TestTCPWriteErrorLatched kills one peer connection under its writer:
+// the failed batch's error must be latched so the fence reports it and
+// later sends fail fast instead of being silently dropped.
+func TestTCPWriteErrorLatched(t *testing.T) {
+	tcp, err := NewTCPNetwork(2, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	ep := tcp.eps[0]
+	peer := ep.peers[1]
+	peer.q.hold()
+	if err := ep.Send(&msg.Msg{Kind: msg.KindPing, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	peer.conn.Close() // the wire dies with a message queued
+	peer.q.release()
+	if err := ep.Flush(); err == nil {
+		t.Fatal("flush after wire failure reported success")
+	}
+	if err := ep.Send(&msg.Msg{Kind: msg.KindPing, To: 1}); err == nil {
+		t.Fatal("send after wire failure reported success")
+	}
+	// Other peers are unaffected (self-connection still works).
+	if err := ep.Send(&msg.Msg{Kind: msg.KindPing, To: 0}); err != nil {
+		t.Fatalf("send to healthy peer: %v", err)
+	}
+	if got, err := tcp.Endpoint(0).Recv(); err != nil || got.From != 0 {
+		t.Fatalf("healthy peer recv: %v %v", got, err)
+	}
+}
+
+// TestTCPCloseWakesBlockedSender fills a peer's bounded send queue with
+// the writer held, leaves one sender blocked on the bound, and closes
+// the network: the blocked sender must get ErrClosed (not a write on a
+// closed connection), and Close must return.
+func TestTCPCloseWakesBlockedSender(t *testing.T) {
+	tcp, err := NewTCPNetwork(2, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := tcp.eps[0]
+	ep.peers[1].q.hold()
+	for i := 0; i < sendQueueDepth; i++ {
+		if err := ep.Send(&msg.Msg{Kind: msg.KindPing, To: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- ep.Send(&msg.Msg{Kind: msg.KindPing, To: 1})
+	}()
+	// The close must both wake the blocked sender with ErrClosed and
+	// still drain the already-queued messages to the wire.
+	if err := tcp.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := <-blocked; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked sender got %v, want ErrClosed", err)
+	}
+	if err := ep.Send(&msg.Msg{Kind: msg.KindPing, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close got %v, want ErrClosed", err)
+	}
+	if err := ep.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("flush after close got %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPCloseDeliversQueued checks the deterministic drain: messages
+// enqueued (but not yet written) when Close starts are still delivered
+// to their destination queues before Recv reports ErrClosed.
+func TestTCPCloseDeliversQueued(t *testing.T) {
+	tcp, err := NewTCPNetwork(2, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := tcp.eps[0]
+	ep.peers[1].q.hold()
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := ep.Send(&msg.Msg{Kind: msg.KindPing, To: 1, Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tcp.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := tcp.Endpoint(1).Recv()
+		if err != nil {
+			t.Fatalf("recv %d after close: %v", i, err)
+		}
+		if got.Seq != uint64(i) {
+			t.Fatalf("recv %d: got seq %d", i, got.Seq)
+		}
+	}
+	if _, err := tcp.Endpoint(1).Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained recv got %v, want ErrClosed", err)
+	}
+}
+
+// TestChanSendFlush pins the chan transport to the same extended
+// interface: Send delivers immediately and Flush is a trivial fence.
+func TestChanSendFlush(t *testing.T) {
+	net := NewChanNetwork(2, CostModel{})
+	defer net.Close()
+	if err := net.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("q")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Endpoint(0).Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	got, err := net.Endpoint(1).Recv()
+	if err != nil || string(got.Payload) != "q" {
+		t.Fatalf("recv: %v %v", got, err)
+	}
+	if net.Stats().WireWrites() != 1 || net.Stats().WireCoalesced() != 0 {
+		t.Fatalf("chan wire counters: writes=%d coalesced=%d",
+			net.Stats().WireWrites(), net.Stats().WireCoalesced())
+	}
+}
+
 func TestCostModel(t *testing.T) {
 	c := CostModel{LatencyNs: 1000, NsPerByte: 2}
 	if got := c.Cost(100); got != 1200 {

@@ -112,33 +112,99 @@ func (k *Kernel) Group(id int) []msg.NodeID {
 	return append([]msg.NodeID(nil), k.groups[id]...)
 }
 
+// Pending is an outstanding asynchronous request started with CallStart
+// or MulticastCallStart: the request has been enqueued on the
+// transport's coalescing writer, and Wait collects the replies.
+type Pending struct {
+	k    *Kernel
+	ch   chan *msg.Msg
+	want int
+}
+
+// register allocates a correlation sequence and a pending-call record
+// expecting want replies.
+func (k *Kernel) register(want int, inline func(*msg.Msg)) (uint64, *Pending, error) {
+	seq := k.seq.Add(1)
+	ch := make(chan *msg.Msg, want)
+	k.mu.Lock()
+	if k.closed {
+		k.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	k.pending[seq] = &pendingCall{ch: ch, want: want, inline: inline}
+	k.mu.Unlock()
+	return seq, &Pending{k: k, ch: ch, want: want}, nil
+}
+
+func (k *Kernel) unregister(seq uint64) {
+	k.mu.Lock()
+	delete(k.pending, seq)
+	k.mu.Unlock()
+}
+
+// Wait blocks until every expected reply has arrived and returns them
+// in arrival order. Waiting on a nil Pending (a multicast that had no
+// remote members) returns immediately.
+//
+// Caveat: sends are asynchronous, so a request whose bytes are lost to
+// a peer connection dying after the enqueue has no reply coming; its
+// Wait returns only when the kernel closes. Later sends and fences to
+// the dead peer fail fast (the transport latches the write error), and
+// on the loopback transports a connection only dies at shutdown, where
+// Close unblocks every waiter — but a future multi-host transport
+// should fail pending calls on wire death (see ROADMAP).
+func (p *Pending) Wait() ([]*msg.Msg, error) {
+	if p == nil || p.want == 0 {
+		return nil, nil
+	}
+	replies := make([]*msg.Msg, 0, p.want)
+	for len(replies) < p.want {
+		select {
+		case reply := <-p.ch:
+			replies = append(replies, reply)
+		case <-p.k.done:
+			return replies, ErrClosed
+		}
+	}
+	return replies, nil
+}
+
+// CallStart enqueues a request to dst on the transport's coalescing
+// writer and returns without waiting — neither for the wire nor for the
+// reply. Batched protocol emissions start every destination's request
+// this way, Flush once so everything leaves in coalesced frames, and
+// then Wait each Pending; distinct destinations thus overlap without
+// one goroutine per destination.
+func (k *Kernel) CallStart(dst msg.NodeID, kind msg.Kind, payload []byte) (*Pending, error) {
+	return k.callStart(dst, kind, payload, nil)
+}
+
+func (k *Kernel) callStart(dst msg.NodeID, kind msg.Kind, payload []byte, inline func(*msg.Msg)) (*Pending, error) {
+	seq, p, err := k.register(1, inline)
+	if err != nil {
+		return nil, err
+	}
+	m := &msg.Msg{Kind: kind, To: dst, Seq: seq, Payload: payload}
+	if err := k.ep.Send(m); err != nil {
+		k.unregister(seq)
+		return nil, err
+	}
+	return p, nil
+}
+
 // Call sends a request to dst and blocks until the reply arrives. It is
 // the V kernel's Send: the caller is suspended until the receiver
 // replies.
 func (k *Kernel) Call(dst msg.NodeID, kind msg.Kind, payload []byte) (*msg.Msg, error) {
-	seq := k.seq.Add(1)
-	ch := make(chan *msg.Msg, 1)
-	k.mu.Lock()
-	if k.closed {
-		k.mu.Unlock()
-		return nil, ErrClosed
-	}
-	k.pending[seq] = &pendingCall{ch: ch, want: 1}
-	k.mu.Unlock()
-
-	m := &msg.Msg{Kind: kind, To: dst, Seq: seq, Payload: payload}
-	if err := k.ep.Send(m); err != nil {
-		k.mu.Lock()
-		delete(k.pending, seq)
-		k.mu.Unlock()
+	p, err := k.CallStart(dst, kind, payload)
+	if err != nil {
 		return nil, err
 	}
-	select {
-	case reply := <-ch:
-		return reply, nil
-	case <-k.done:
-		return nil, ErrClosed
+	replies, err := p.Wait()
+	if err != nil {
+		return nil, err
 	}
+	return replies[0], nil
 }
 
 // CallInline is Call with a twist needed by coherence protocols: fn is
@@ -149,38 +215,20 @@ func (k *Kernel) Call(dst msg.NodeID, kind msg.Kind, payload []byte) (*msg.Msg, 
 // observe the pre-install state. fn must be short and must not block on
 // network operations. CallInline returns after fn has run.
 func (k *Kernel) CallInline(dst msg.NodeID, kind msg.Kind, payload []byte, fn func(*msg.Msg)) error {
-	seq := k.seq.Add(1)
-	ch := make(chan *msg.Msg, 1)
-	k.mu.Lock()
-	if k.closed {
-		k.mu.Unlock()
-		return ErrClosed
-	}
-	k.pending[seq] = &pendingCall{ch: ch, want: 1, inline: fn}
-	k.mu.Unlock()
-
-	m := &msg.Msg{Kind: kind, To: dst, Seq: seq, Payload: payload}
-	if err := k.ep.Send(m); err != nil {
-		k.mu.Lock()
-		delete(k.pending, seq)
-		k.mu.Unlock()
+	p, err := k.callStart(dst, kind, payload, fn)
+	if err != nil {
 		return err
 	}
-	select {
-	case <-ch:
-		return nil
-	case <-k.done:
-		return ErrClosed
-	}
+	_, err = p.Wait()
+	return err
 }
 
-// MulticastCall sends one multicast message to every member (excluding
-// this node) and blocks until each member has replied. It returns the
-// replies in arrival order. This is the acknowledged update multicast
-// the coherence protocols use: a delayed-update flush does not return
-// until every copy holder has installed the update, so synchronization
-// that follows the flush is guaranteed to make the updates visible.
-func (k *Kernel) MulticastCall(members []msg.NodeID, kind msg.Kind, payload []byte) ([]*msg.Msg, error) {
+// MulticastCallStart enqueues one multicast request to every member
+// (excluding this node) and returns a Pending that collects the
+// members' replies. Like CallStart it does not wait for the wire: on
+// TCP each member's copy coalesces with whatever else is bound for that
+// peer. A nil Pending (with nil error) means no remote members.
+func (k *Kernel) MulticastCallStart(members []msg.NodeID, kind msg.Kind, payload []byte) (*Pending, error) {
 	dst := make([]msg.NodeID, 0, len(members))
 	for _, n := range members {
 		if n != k.node {
@@ -190,34 +238,36 @@ func (k *Kernel) MulticastCall(members []msg.NodeID, kind msg.Kind, payload []by
 	if len(dst) == 0 {
 		return nil, nil
 	}
-	seq := k.seq.Add(1)
-	ch := make(chan *msg.Msg, len(dst))
-	k.mu.Lock()
-	if k.closed {
-		k.mu.Unlock()
-		return nil, ErrClosed
-	}
-	k.pending[seq] = &pendingCall{ch: ch, want: len(dst)}
-	k.mu.Unlock()
-
-	m := &msg.Msg{Kind: kind, From: k.node, Seq: seq, Payload: payload}
-	if err := k.net.Multicast(m, dst); err != nil {
-		k.mu.Lock()
-		delete(k.pending, seq)
-		k.mu.Unlock()
+	seq, p, err := k.register(len(dst), nil)
+	if err != nil {
 		return nil, err
 	}
-	replies := make([]*msg.Msg, 0, len(dst))
-	for len(replies) < len(dst) {
-		select {
-		case reply := <-ch:
-			replies = append(replies, reply)
-		case <-k.done:
-			return replies, ErrClosed
-		}
+	m := &msg.Msg{Kind: kind, From: k.node, Seq: seq, Payload: payload}
+	if err := k.net.Multicast(m, dst); err != nil {
+		k.unregister(seq)
+		return nil, err
 	}
-	return replies, nil
+	return p, nil
 }
+
+// MulticastCall sends one multicast message to every member (excluding
+// this node) and blocks until each member has replied. It returns the
+// replies in arrival order. This is the acknowledged update multicast
+// the coherence protocols use: a delayed-update flush does not return
+// until every copy holder has installed the update, so synchronization
+// that follows the flush is guaranteed to make the updates visible.
+func (k *Kernel) MulticastCall(members []msg.NodeID, kind msg.Kind, payload []byte) ([]*msg.Msg, error) {
+	p, err := k.MulticastCallStart(members, kind, payload)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// Flush fences this node's outgoing pipeline: it returns once every
+// message enqueued before the call has been written to the wire. It
+// does not wait for replies — Pending.Wait does that.
+func (k *Kernel) Flush() error { return k.ep.Flush() }
 
 // Reply sends a reply to a request received via a handler.
 func (k *Kernel) Reply(req *msg.Msg, payload []byte) error {
