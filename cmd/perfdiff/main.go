@@ -1,0 +1,169 @@
+// Command perfdiff guards the perf trajectory: it diffs the two newest
+// BENCH_<n>.json files (the archived `munin-bench -json` metrics each
+// PR commits) and fails when a headline metric regressed by more than
+// the threshold. CI runs it so a PR that silently makes flushes
+// chattier or the wire path less coalesced turns red instead of
+// landing.
+//
+// Headline metrics are lower-is-better message/write counts:
+//
+//	E1   munin.<app>.msgs      protocol traffic per application
+//	E10  batched.<k>           batched flush messages per sync
+//	E11  batched.writes.<k>    coalesced wire writes per sync over TCP
+//
+// Usage: perfdiff [-dir .] [-threshold 0.20]
+//
+// With fewer than two trajectory files there is nothing to diff and
+// the command succeeds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	ID      string             `json:"id"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// headline reports whether a metric is one of the guarded
+// lower-is-better counters.
+func headline(exp, metric string) bool {
+	switch exp {
+	case "E1":
+		return strings.HasPrefix(metric, "munin.") && strings.HasSuffix(metric, ".msgs")
+	case "E10":
+		return strings.HasPrefix(metric, "batched.")
+	case "E11":
+		return strings.HasPrefix(metric, "batched.writes.")
+	}
+	return false
+}
+
+// load reads one trajectory file into exp -> metric -> value.
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []benchResult
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]map[string]float64, len(results))
+	for _, r := range results {
+		out[r.ID] = r.Metrics
+	}
+	return out, nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// newestTwo returns the paths of the two highest-numbered BENCH files,
+// older first.
+func newestTwo(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		files = append(files, numbered{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	if len(files) < 2 {
+		return nil, nil
+	}
+	return []string{files[len(files)-2].path, files[len(files)-1].path}, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json files")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional regression in headline metrics")
+	flag.Parse()
+
+	pair, err := newestTwo(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if pair == nil {
+		fmt.Println("perfdiff: fewer than two BENCH_<n>.json files; nothing to diff")
+		return
+	}
+	old, err := load(pair[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(pair[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("perfdiff: %s -> %s (threshold %.0f%%)\n", pair[0], pair[1], *threshold*100)
+	regressions := 0
+	compared := 0
+	for _, exp := range []string{"E1", "E10", "E11"} {
+		oldM, curM := old[exp], cur[exp]
+		if oldM == nil {
+			continue // experiment newer than the older trajectory file
+		}
+		keys := make([]string, 0, len(oldM))
+		for k := range oldM {
+			if headline(exp, k) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			was := oldM[k]
+			if was <= 0 {
+				continue
+			}
+			// A guarded metric that vanishes from the newer file is a
+			// gate failure, not a skip: silently dropping or renaming a
+			// headline metric must not disable the regression check.
+			now, ok := curM[k]
+			if !ok {
+				regressions++
+				fmt.Printf("  MISSING    %s %s: present in %s, absent in %s\n", exp, k, pair[0], pair[1])
+				continue
+			}
+			compared++
+			change := (now - was) / was
+			if change > *threshold {
+				regressions++
+				fmt.Printf("  REGRESSION %s %s: %.1f -> %.1f (%+.1f%%)\n", exp, k, was, now, change*100)
+			} else if change != 0 {
+				fmt.Printf("  ok         %s %s: %.1f -> %.1f (%+.1f%%)\n", exp, k, was, now, change*100)
+			}
+		}
+	}
+	fmt.Printf("perfdiff: %d headline metrics compared, %d regressed\n", compared, regressions)
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "perfdiff: no comparable headline metrics — trajectory files malformed?")
+		os.Exit(1)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

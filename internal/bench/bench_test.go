@@ -1,9 +1,19 @@
 package bench
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
+
+// TestMain lets E12 re-execute this test binary as its home/writer
+// child processes (see MeshChildMain).
+func TestMain(m *testing.M) {
+	if MeshChildMain() {
+		return
+	}
+	os.Exit(m.Run())
+}
 
 // The experiment assertions below are the reproduction criteria from
 // DESIGN.md §4: not absolute numbers, but the paper's shapes — who
@@ -188,12 +198,36 @@ func TestE11WireWritesFlatOverTCP(t *testing.T) {
 	}
 }
 
+func TestE12WireWritesFlatAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in short mode")
+	}
+	r := E12(2)
+	// The acceptance shape: two separate OS processes over the topology
+	// mesh, and the batched flush still costs O(1) writer-side wire
+	// writes no matter how many objects are dirty.
+	for _, k := range []string{"1", "16", "64"} {
+		got, ok := r.Metrics["batched.writes."+k]
+		if !ok {
+			t.Fatalf("round k=%s produced no metrics: %v", k, r.Notes)
+		}
+		if got > 3 {
+			t.Errorf("batched flush of %s objects took %v wire writes across processes, want O(1)", k, got)
+		}
+	}
+	// The serial path pays one write per diff round trip, so it must
+	// grow with K while batched stays put.
+	if s, b := r.Metrics["serial.writes.64"], r.Metrics["batched.writes.64"]; s < 8*b {
+		t.Errorf("serial writer-side writes (%v) not meaningfully above batched (%v) at K=64", s, b)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

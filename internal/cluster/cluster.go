@@ -1,6 +1,14 @@
-// Package cluster assembles the simulated distributed-memory machine: a
-// network plus one vkernel per node. It is the stand-in for the paper's
+// Package cluster assembles the distributed-memory machine: a network
+// plus vkernels on top of it. It is the stand-in for the paper's
 // "Ethernet network of SUN workstations".
+//
+// Two shapes exist. The in-process shape (chan or loopback-TCP
+// transport) builds every node's kernel in one process — the default
+// for experiments and tests. The mesh shape (Config.Topology set)
+// builds ONE node of a multi-process cluster: this process binds its
+// topology address, runs only its own kernel, and reaches the other
+// nodes over real TCP connections; the other processes run the
+// remaining node IDs with the same topology.
 package cluster
 
 import (
@@ -13,25 +21,37 @@ import (
 
 // Config describes the machine to simulate.
 type Config struct {
-	// Nodes is the number of processors. Must be >= 1.
+	// Nodes is the number of processors. Must be >= 1. Ignored when
+	// Topology is set (the topology defines the cluster size).
 	Nodes int
 	// Transport selects the substrate: "chan" (default, in-process with
-	// modeled costs) or "tcp" (real loopback sockets).
+	// modeled costs) or "tcp" (real loopback sockets). Ignored when
+	// Topology is set.
 	Transport string
 	// Cost is the network cost model; zero value means free/instant,
 	// which is appropriate for unit tests. Use
 	// transport.DefaultCostModel() for paper-like accounting.
 	Cost transport.CostModel
+	// Topology, when non-nil, makes this process one member of a
+	// multi-process mesh: it runs only the topology's self node and
+	// dials the other nodes at their topology addresses.
+	Topology *transport.Topology
 }
 
-// Cluster is a running simulated machine.
+// Cluster is a running machine — or, in mesh shape, this process's
+// member of one.
 type Cluster struct {
 	net     transport.Network
-	kernels []*vkernel.Kernel
+	kernels []*vkernel.Kernel // mesh shape: only the self slot is non-nil
+	self    msg.NodeID        // mesh shape only; -1 in-process
 }
 
-// New builds and starts a cluster.
+// New builds and starts a cluster (or, with cfg.Topology, this
+// process's node of one).
 func New(cfg Config) (*Cluster, error) {
+	if cfg.Topology != nil {
+		return newMeshNode(*cfg.Topology, cfg.Cost)
+	}
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
 	}
@@ -48,7 +68,7 @@ func New(cfg Config) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown transport %q", cfg.Transport)
 	}
-	c := &Cluster{net: net}
+	c := &Cluster{net: net, self: -1}
 	c.kernels = make([]*vkernel.Kernel, cfg.Nodes)
 	for i := range c.kernels {
 		c.kernels[i] = vkernel.New(net, msg.NodeID(i))
@@ -56,23 +76,53 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Nodes returns the number of processors.
+// newMeshNode starts one node of a multi-process cluster: bind the
+// topology's self address, run the self kernel, dial peers lazily.
+func newMeshNode(topo transport.Topology, cost transport.CostModel) (*Cluster, error) {
+	mn, err := transport.NewMeshNetwork(topo, cost)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{net: mn, self: topo.Self}
+	c.kernels = make([]*vkernel.Kernel, topo.Nodes())
+	c.kernels[topo.Self] = vkernel.New(mn, topo.Self)
+	return c, nil
+}
+
+// Nodes returns the number of processors in the cluster (for a mesh
+// node, the whole cluster's size, not just this process's share).
 func (c *Cluster) Nodes() int { return len(c.kernels) }
 
-// Kernel returns node n's vkernel.
-func (c *Cluster) Kernel(n msg.NodeID) *vkernel.Kernel { return c.kernels[n] }
+// Self returns this process's node ID in mesh shape, or -1 when every
+// node lives in this process.
+func (c *Cluster) Self() msg.NodeID { return c.self }
+
+// Kernel returns node n's vkernel. In mesh shape only the self node's
+// kernel exists in this process; asking for another panics.
+func (c *Cluster) Kernel(n msg.NodeID) *vkernel.Kernel {
+	k := c.kernels[n]
+	if k == nil {
+		panic(fmt.Sprintf("cluster: node %d runs in another process (this one is %d)", n, c.self))
+	}
+	return k
+}
 
 // Stats returns the network traffic accounting.
 func (c *Cluster) Stats() *transport.Stats { return c.net.Stats() }
 
-// Close shuts down the cluster and waits for all dispatchers to exit.
+// Close shuts down the cluster (this process's node, in mesh shape)
+// and waits for all local dispatchers to exit.
 func (c *Cluster) Close() {
 	for _, k := range c.kernels {
-		k.Close()
+		if k != nil {
+			k.Close()
+		}
 	}
 	c.net.Close()
 	for _, k := range c.kernels {
-		k.Wait()
+		if k != nil {
+			k.Wait()
+		}
 	}
 }
 

@@ -3,13 +3,25 @@
 // When the thread modifies a write-buffered object (write-many, result),
 // the object is marked dirty in the queue; nothing is sent. When the
 // thread synchronizes — lock acquire or release, barrier, thread exit —
-// the queue flushes: the runtime emits one combined update (a diff
-// against the object's twin) per dirty object, in the order the objects
-// were first modified.
+// the pending set is propagated as one combined update (a diff against
+// the object's twin) per dirty object, in the order the objects were
+// first modified.
+//
+// The queue is a planning structure, not an emitter. The protocol layer
+// flushes in two steps: Drain returns the dirty set in
+// first-modification order without removing anything, the caller plans
+// the whole emission at once — grouping objects by destination,
+// batching the wire messages, pipelining distinct destinations — and
+// then Commit removes exactly what was emitted. A flush that fails
+// partway commits only its successes; the failed object and everything
+// after it stay queued in their original order, so a retry re-emits
+// them without reordering. The callback-per-object Flush method remains
+// as the legacy serial path (and the differential test oracle for the
+// batched one).
 //
 // Ordering: the paper requires updates to be propagated "in the order
 // that they occur in the program execution" so a remote thread can never
-// observe a later update while missing an earlier one. Flushing in
+// observe a later update while missing an earlier one. Draining in
 // first-modification order preserves exactly that inter-object order.
 // Within one synchronization interval, multiple writes to the same
 // object are combined into a single update — the combining the paper

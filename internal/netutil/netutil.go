@@ -1,0 +1,30 @@
+// Package netutil holds small networking helpers shared by the mesh
+// drivers and tests.
+package netutil
+
+import "net"
+
+// ReserveAddrs grabs n distinct loopback TCP addresses by binding and
+// immediately releasing them, so a whole mesh topology can be handed
+// out before any member binds. The tiny window before the real bind is
+// the standard trade for preassigning addresses up front; callers that
+// can lose the race (another process stealing the port) should retry
+// at their own level.
+func ReserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}

@@ -113,22 +113,38 @@ func (n *Node) Write(q *duq.Queue, id memory.ObjectID, off int, data []byte) {
 // ordering option") tracks a strict mode for programs that read
 // unsynchronized across homes.
 func (n *Node) FlushQueue(q *duq.Queue) {
+	if err := n.TryFlushQueue(q); err != nil {
+		panic(fmt.Sprintf("munin: flush: %v", err))
+	}
+}
+
+// TryFlushQueue is FlushQueue with an error return instead of a panic.
+// In-process runs never see an error outside shutdown, but on the
+// multi-process mesh a flush aimed at a peer whose wire has died fails
+// with *transport.ErrPeerDown (detect with errors.As) — promptly,
+// because vkernel fails the pending acknowledgment the moment the
+// transport latches the peer.
+//
+// Every destination is attempted even when one fails, so healthy homes
+// still receive their batches. The drained entries are then committed
+// regardless: their diffs were consumed by the attempt, and a dead
+// peer's updates cannot be delivered later anyway (the latch is
+// permanent), so leaving them queued would only make a retry succeed
+// vacuously. The returned error is the loss report.
+func (n *Node) TryFlushQueue(q *duq.Queue) error {
 	if n.serialFlush.Load() {
-		err := q.Flush(func(id memory.ObjectID) error {
+		return q.Flush(func(id memory.ObjectID) error {
 			n.flushObject(id)
 			return nil
 		})
-		if err != nil {
-			panic(fmt.Sprintf("munin: flush: %v", err))
-		}
-		return
 	}
 	pending := q.Drain()
 	if len(pending) == 0 {
-		return
+		return nil
 	}
-	n.flushBatched(pending)
+	err := n.flushBatched(pending)
 	q.Commit(pending)
+	return err
 }
 
 // pcGroup collects the producer-consumer objects of one flush that
@@ -139,8 +155,10 @@ type pcGroup struct {
 }
 
 // flushBatched plans and executes one batched, pipelined flush over
-// the drained dirty set (in first-modification order).
-func (n *Node) flushBatched(pending []memory.ObjectID) {
+// the drained dirty set (in first-modification order). A returned
+// error means some destination could not be reached or did not
+// acknowledge — notably *transport.ErrPeerDown from a dead peer.
+func (n *Node) flushBatched(pending []memory.ObjectID) error {
 	var (
 		local       []batchEntry // write-many/result homed on this node
 		remote      = make(map[msg.NodeID][]batchEntry)
@@ -187,7 +205,7 @@ func (n *Node) flushBatched(pending []memory.ObjectID) {
 		work++
 	}
 	if work == 0 {
-		return
+		return nil
 	}
 	if work > 1 {
 		n.C.Add("flush.pipelined", 1)
@@ -226,13 +244,24 @@ func (n *Node) flushBatched(pending []memory.ObjectID) {
 	// Start phase: every destination's batch is enqueued on the
 	// transport's coalescing writer — nothing blocks on the wire, so
 	// distinct destinations coalesce in the per-peer writers instead of
-	// fanning out over ad-hoc goroutines.
-	fail := func(err error) { panic(fmt.Sprintf("munin: flush: %v", err)) }
+	// fanning out over ad-hoc goroutines. A destination that fails to
+	// start (its peer's wire is already latched down) is recorded but
+	// does NOT abort the others: the planning loop above consumed every
+	// object's twin, so the only way to not lose the healthy
+	// destinations' updates is to keep going and report the failure at
+	// the end.
+	var firstErr error
+	noteErr := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	var diffAwaits []flushAwait
 	for _, dst := range remoteOrder {
 		a, err := n.startDiffBatch(dst, remote[dst])
 		if err != nil {
-			fail(err)
+			noteErr(err)
+			continue
 		}
 		diffAwaits = append(diffAwaits, a)
 	}
@@ -246,7 +275,7 @@ func (n *Node) flushBatched(pending []memory.ObjectID) {
 		as, err := n.startPushBatch(g)
 		pcAwaits = append(pcAwaits, pcStarted{g: g, awaits: as})
 		if err != nil && !isShutdown(err) {
-			fail(err)
+			noteErr(err)
 		}
 	}
 
@@ -255,26 +284,25 @@ func (n *Node) flushBatched(pending []memory.ObjectID) {
 	// the remote round trips, and the flush completes only when every
 	// destination has acknowledged — the §3.2 visibility rule intact.
 	if err := n.k.Flush(); err != nil && !isShutdown(err) {
-		fail(err)
+		noteErr(err)
 	}
 	if len(local) > 0 {
 		// Local flush at the home: the home copy already holds the
 		// bytes; just run the home-side merge + redistribution.
 		n.homeMergeBatch(local, n.id, true)
 	}
-	settle := func(a flushAwait) {
+	settle := func(a flushAwait) error {
 		replies, err := a.p.Wait()
 		if err != nil {
 			if a.benign && isShutdown(err) {
-				return
+				return nil
 			}
-			fail(err)
+			return err
 		}
 		if a.finish != nil {
-			if err := a.finish(replies); err != nil {
-				fail(err)
-			}
+			return a.finish(replies)
 		}
+		return nil
 	}
 	// Producer-consumer groups settle first (in flush order), each
 	// releasing its objects' pushMu once its own acks have landed —
@@ -284,13 +312,14 @@ func (n *Node) flushBatched(pending []memory.ObjectID) {
 	// which is exactly the fan-out this path removed.
 	for _, ps := range pcAwaits {
 		for _, a := range ps.awaits {
-			settle(a)
+			noteErr(settle(a))
 		}
 		unlockGroup(ps.g)
 	}
 	for _, a := range diffAwaits {
-		settle(a)
+		noteErr(settle(a))
 	}
+	return firstErr
 }
 
 // flushAwait is one started (enqueued, unacknowledged) flush emission:

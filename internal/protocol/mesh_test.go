@@ -1,0 +1,82 @@
+package protocol
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"munin/internal/cluster"
+	"munin/internal/dlock"
+	"munin/internal/duq"
+	"munin/internal/memory"
+	"munin/internal/msg"
+	"munin/internal/transport"
+)
+
+// TestFlushSurfacesErrPeerDownOverMesh: when the home's process dies,
+// a subsequent flush on the writer fails with the typed
+// *transport.ErrPeerDown instead of panicking opaquely or hanging —
+// the contract multi-process drivers (bench E12, munin-bench -peers)
+// rely on.
+func TestFlushSurfacesErrPeerDownOverMesh(t *testing.T) {
+	addrs := make([]string, 0, 2)
+	lns := make([]net.Listener, 0, 2)
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	build := func(self msg.NodeID) (*cluster.Cluster, *Node) {
+		topo := transport.Topology{Self: self, Peers: peers}
+		clu, err := cluster.New(cluster.Config{Topology: &topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := clu.Kernel(self)
+		return clu, NewNode(k, dlock.NewService(k))
+	}
+	homeClu, _ := build(0)
+	writerClu, writerNode := build(1)
+	defer writerClu.Close()
+
+	// Allocate and prime over the live mesh.
+	q := duq.New()
+	opts := DefaultOptions()
+	opts.Home = 0
+	id := memory.ObjectID(1)
+	writerNode.Alloc(Meta{ID: id, Name: "wm", Size: 64, Annot: WriteMany, Opts: opts}, nil)
+	buf := make([]byte, 8)
+	writerNode.Read(q, id, 0, buf)
+
+	// Dirty the object, then kill the home "process" before the flush.
+	writerNode.Write(q, id, 0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	homeClu.Close()
+
+	start := time.Now()
+	err := writerNode.TryFlushQueue(q)
+	var pd *transport.ErrPeerDown
+	if !errors.As(err, &pd) || pd.Node != 0 {
+		t.Fatalf("TryFlushQueue after home death = %v, want *transport.ErrPeerDown{Node: 0}", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("flush took %v to fail, want < 1s", elapsed)
+	}
+	// The failed flush commits the attempted entry: its diff was
+	// consumed and the dead peer can never receive it (the latch is
+	// permanent), so keeping it queued would only let a retry succeed
+	// vacuously. The typed error above is the loss report.
+	if q.Contains(id) {
+		t.Fatal("failed flush left a consumed entry queued (a retry would succeed vacuously)")
+	}
+	if err := writerNode.TryFlushQueue(q); err != nil {
+		t.Fatalf("empty retry after reported loss = %v, want nil", err)
+	}
+}

@@ -19,6 +19,22 @@
 // queue; a miss suspends the thread and runs the protocol's fault
 // handler, mirroring the paper's "suspend the faulting thread and invoke
 // the associated server" discipline at object granularity.
+//
+// Flushes are batched and pipelined: FlushQueue plans the whole drained
+// dirty set at once (duq.Drain/Commit), groups write-many and result
+// diffs by home and producer-consumer pushes by consumer set into
+// multi-object batch messages, starts every destination asynchronously
+// on the transport's coalescing writer, fences once, and then awaits
+// all acknowledgments — K dirty objects cost O(1) messages and O(1)
+// wire writes per destination instead of 2K round trips (bench
+// E10/E11/E12). SetSerialFlush selects the legacy one-object-per-round-
+// trip path, kept as the measured baseline and differential oracle.
+//
+// On the multi-process mesh a destination's wire can die mid-flush; the
+// failure surfaces out of TryFlushQueue (and the fault handlers' panics)
+// as a typed *transport.ErrPeerDown rather than a hang — vkernel fails
+// the pending acknowledgments the moment the transport latches the
+// peer.
 package protocol
 
 import (

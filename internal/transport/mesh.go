@@ -1,0 +1,700 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"munin/internal/msg"
+)
+
+// Mesh connect handshake. Every connection opens with a fixed-size
+// hello frame — magic, protocol version, the dialer's node ID — and the
+// acceptor answers with a single accept/reject byte. The hello is what
+// makes connections attributable (the acceptor learns who is on the
+// other end before any traffic flows) and the version field is what
+// lets a future frame-format change fail loudly instead of desyncing
+// the stream.
+const (
+	meshMagic        = "MUNm"
+	meshProtoVersion = 1
+	helloLen         = 4 + 2 + 4 // magic + version + node ID
+	helloAccept      = 1
+	helloReject      = 0
+)
+
+// Dial/handshake tuning. Dials retry briefly (a peer process may be a
+// beat behind in binding its listener); once the retries are exhausted
+// the peer is latched down.
+const (
+	meshDialAttempts     = 4
+	meshDialBackoff      = 50 * time.Millisecond
+	meshDialTimeout      = 1 * time.Second
+	meshHandshakeTimeout = 2 * time.Second
+	// meshInboundWait bounds how long a dialer whose handshake was
+	// rejected (it lost the duplicate-connection tiebreak) waits for
+	// the winning inbound connection to be installed.
+	meshInboundWait = 2 * time.Second
+	// meshCloseDrain bounds how long Close waits for peers to finish
+	// reading drained frames before reader connections are torn down.
+	meshCloseDrain = 2 * time.Second
+)
+
+func encodeHello(self msg.NodeID) []byte {
+	b := make([]byte, 0, helloLen)
+	b = append(b, meshMagic...)
+	b = binary.BigEndian.AppendUint16(b, meshProtoVersion)
+	b = binary.BigEndian.AppendUint32(b, uint32(self))
+	return b
+}
+
+// MeshNetwork is the multi-process transport: one Network per OS
+// process, holding exactly one usable endpoint (the topology's self
+// node) and reaching every other node over real TCP connections at the
+// addresses the Topology names. It is the layer that takes the writer
+// pipeline off loopback: the per-peer send queues, coalescing writers,
+// and frame codec are exactly the ones TCPNetwork uses — what changes
+// is connection lifecycle (lazy dialing with a hello handshake instead
+// of a fixed all-pairs dial at construction) and failure semantics
+// (wire death latches an ErrPeerDown instead of being impossible).
+//
+// Connections are bidirectional and one per node pair: whichever side
+// needs to send first dials, and the acceptor attributes the
+// connection from the hello frame. If both sides dial at once the
+// duplicate is resolved deterministically — the connection dialed by
+// the lower node ID survives, the other is closed — so the pair always
+// converges on a single stream with no configuration-order dependence.
+//
+// Failure: when a peer's dial fails (after brief retries), a write
+// errors, or an established connection's read side dies, the peer is
+// latched down. Later Sends fail fast with *ErrPeerDown, queued fences
+// observe it, and registered OnPeerDown callbacks fire exactly once per
+// peer — vkernel uses that to fail the pending calls whose replies can
+// never arrive. There is no automatic reconnect after a latch (see
+// ROADMAP).
+type MeshNetwork struct {
+	topo  Topology
+	stats *Stats
+	cost  CostModel
+	ln    net.Listener
+	ep    *meshEndpoint
+
+	mu     sync.Mutex
+	peers  map[msg.NodeID]*meshPeer
+	conns  map[net.Conn]struct{} // every installed connection, for Close's teardown sweep
+	onDown []func(msg.NodeID, error)
+	closed bool
+
+	wg       sync.WaitGroup // accept loop + per-connection readers
+	writerWG sync.WaitGroup // per-peer writer goroutines
+}
+
+// NewMeshNetwork binds the topology's self address and starts the
+// accept loop. No peer connections are opened yet — dialing is lazy,
+// triggered by the first Send to each peer.
+func NewMeshNetwork(topo Topology, cost CostModel) (*MeshNetwork, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", topo.Addr(topo.Self))
+	if err != nil {
+		return nil, fmt.Errorf("transport: mesh listen %s: %w", topo.Addr(topo.Self), err)
+	}
+	m := &MeshNetwork{
+		topo:  topo,
+		stats: newStats(topo.Nodes()),
+		cost:  cost,
+		ln:    ln,
+		peers: make(map[msg.NodeID]*meshPeer),
+		conns: make(map[net.Conn]struct{}),
+	}
+	m.ep = &meshEndpoint{m: m, q: newQueue()}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			m.wg.Add(1)
+			go func() {
+				defer m.wg.Done()
+				m.handleInbound(conn)
+			}()
+		}
+	}()
+	return m, nil
+}
+
+// Addr returns the address the mesh actually bound (useful when the
+// topology named port 0).
+func (m *MeshNetwork) Addr() string { return m.ln.Addr().String() }
+
+// Self returns this process's node ID.
+func (m *MeshNetwork) Self() msg.NodeID { return m.topo.Self }
+
+// Endpoint implements Network. Only the self node's endpoint exists in
+// this process; asking for any other is a programming error.
+func (m *MeshNetwork) Endpoint(n msg.NodeID) Endpoint {
+	if n != m.topo.Self {
+		panic(fmt.Sprintf("transport: mesh process for node %d has no endpoint for node %d",
+			m.topo.Self, n))
+	}
+	return m.ep
+}
+
+// Nodes implements Network.
+func (m *MeshNetwork) Nodes() int { return m.topo.Nodes() }
+
+// Stats implements Network. The accounting covers this process's
+// traffic only — each mesh member counts what it sends and receives.
+func (m *MeshNetwork) Stats() *Stats { return m.stats }
+
+// Multicast falls back to unicast sends, like TCPNetwork: each member's
+// copy is enqueued on that peer's coalescing writer.
+func (m *MeshNetwork) Multicast(mm *msg.Msg, members []msg.NodeID) error {
+	for _, dst := range members {
+		cp := *mm
+		cp.To = dst
+		if err := m.ep.Send(&cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OnPeerDown implements PeerDownNotifier.
+func (m *MeshNetwork) OnPeerDown(fn func(peer msg.NodeID, err error)) {
+	m.mu.Lock()
+	m.onDown = append(m.onDown, fn)
+	m.mu.Unlock()
+}
+
+func (m *MeshNetwork) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// registerConn records an about-to-be-installed connection for Close's
+// teardown sweep. It refuses once the mesh is closing, so no reader
+// can attach to a connection the sweep will never see — the installer
+// must close the connection and back out.
+func (m *MeshNetwork) registerConn(c net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[c] = struct{}{}
+	return true
+}
+
+// Close quiesces the mesh with the same discipline as TCPNetwork: send
+// queues close first (blocked senders get ErrClosed), writers drain
+// what was queued onto the wire and exit, write sides shut down so
+// remote readers get a clean EOF, then local readers are torn down
+// (bounded by meshCloseDrain if the remote side lingers) and the
+// receive queue reports ErrClosed.
+func (m *MeshNetwork) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	peers := make([]*meshPeer, 0, len(m.peers))
+	for _, p := range m.peers {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+
+	// Snapshot every installed connection (the registry, not the peer
+	// snapshot: once closed is set, registerConn refuses new installs,
+	// so this set is final). Give the write side a drain budget first —
+	// a writer blocked in WriteTo against a stalled peer (full send
+	// buffer, remote not reading) would otherwise hang writerWG.Wait
+	// forever, since the connection teardown sits after the wait.
+	m.mu.Lock()
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+	for _, conn := range conns {
+		conn.SetWriteDeadline(time.Now().Add(meshCloseDrain))
+	}
+	for _, p := range peers {
+		p.q.close()
+	}
+	m.writerWG.Wait()
+	// Write sides shut down: CloseWrite gives the remote a clean EOF
+	// once it has consumed the drained frames; the read deadline bounds
+	// our own reader if the remote lingers.
+	for _, conn := range conns {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		conn.SetReadDeadline(time.Now().Add(meshCloseDrain))
+	}
+	m.ln.Close()
+	m.wg.Wait()
+	m.ep.q.close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	for _, p := range peers {
+		p.mu.Lock()
+		p.conn = nil
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// peer returns (creating on first use) the outgoing pipeline state for
+// one peer node, with its writer goroutine running.
+func (m *MeshNetwork) peer(id msg.NodeID) *meshPeer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.peers[id]
+	if p == nil {
+		p = &meshPeer{node: id, dialer: -1, q: newSendQueue(sendQueueDepth, m.stats.chargeStall)}
+		m.peers[id] = p
+		if m.closed {
+			p.q.close()
+		} else {
+			m.writerWG.Add(1)
+			go m.writeLoop(p)
+		}
+	}
+	return p
+}
+
+// meshPeer is one peer's outgoing pipeline: a bounded send queue
+// drained by a dedicated writer goroutine, plus the pair's established
+// connection (shared with the inbound reader) and handshake state.
+type meshPeer struct {
+	node msg.NodeID
+	q    *sendQueue
+
+	mu      sync.Mutex
+	conn    net.Conn   // the pair's established connection; nil until dialed/accepted
+	dialer  msg.NodeID // which side dialed conn (the tiebreak witness); -1 when conn is nil
+	dialing bool       // this side's writer has a dial in flight
+	down    bool       // wire latched as failed; never cleared
+}
+
+// handleInbound runs the acceptor side of the connect handshake: read
+// and validate the hello, resolve any duplicate connection by the
+// lower-dialer-ID tiebreak, answer accept/reject, and on accept attach
+// the shared reader path.
+func (m *MeshNetwork) handleInbound(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(meshHandshakeTimeout))
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		conn.Close()
+		return
+	}
+	if string(hello[:4]) != meshMagic ||
+		binary.BigEndian.Uint16(hello[4:6]) != meshProtoVersion {
+		conn.Close()
+		return
+	}
+	from := msg.NodeID(binary.BigEndian.Uint32(hello[6:10]))
+	if int(from) < 0 || int(from) >= m.topo.Nodes() || from == m.topo.Self {
+		conn.Close()
+		return
+	}
+
+	p := m.peer(from)
+	if !m.registerConn(conn) {
+		// Mesh is closing: refuse so no reader attaches to a
+		// connection Close's teardown sweep cannot see.
+		conn.Write([]byte{helloReject})
+		conn.Close()
+		return
+	}
+	p.mu.Lock()
+	accept := false
+	switch {
+	case p.down:
+		// The latch is permanent: accepting would create a half-open
+		// pair where the peer's requests arrive but every reply dies
+		// on the failed send queue — its Calls would hang with no
+		// ErrPeerDown ever surfacing on its side. Rejecting tells the
+		// dialer promptly.
+	case p.conn == nil && !p.dialing:
+		// No connection and none in flight: first contact wins.
+		accept = true
+	case p.conn == nil && p.dialing:
+		// Duplicate in flight both ways: the connection dialed by the
+		// lower node ID survives. The peer dialed this one.
+		accept = from < m.topo.Self
+	default: // p.conn != nil
+		// Re-dial from the side that already owns the connection means
+		// the old stream is dead (newer wins); otherwise apply the same
+		// lower-dialer tiebreak against the established connection.
+		accept = p.dialer == from || from < m.topo.Self
+	}
+	if !accept {
+		p.mu.Unlock()
+		conn.Write([]byte{helloReject})
+		conn.Close()
+		return
+	}
+	// The accept byte must be on the wire BEFORE p.conn is published:
+	// the moment the connection is visible, this side's writer
+	// (polling in connFor/awaitInbound) may emit data frames on it,
+	// and a frame byte arriving ahead of the verdict would be read by
+	// the remote dialer as a rejection — losing the frame and latching
+	// a healthy pair down. The handshake deadline set above bounds
+	// this write; p.mu is held across it only against other handshakes
+	// for the same peer.
+	if _, err := conn.Write([]byte{helloAccept}); err != nil {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	old := p.conn
+	p.conn = conn
+	p.dialer = from
+	p.mu.Unlock()
+
+	if old != nil {
+		old.Close()
+	}
+	conn.SetDeadline(time.Time{})
+	m.readConn(p, conn)
+}
+
+// startReader attaches the frame reader to an established connection on
+// its own goroutine (dialer side; the acceptor reuses its goroutine).
+func (m *MeshNetwork) startReader(p *meshPeer, conn net.Conn) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.readConn(p, conn)
+	}()
+}
+
+// readConn routes one established connection's inbound frames through
+// the shared reader path until the stream dies, then — if this was
+// still the pair's connection and the mesh is not closing — latches the
+// peer down: the stream's loss means replies already requested can
+// never arrive.
+func (m *MeshNetwork) readConn(p *meshPeer, conn net.Conn) {
+	readFrameStream(bufio.NewReader(conn), func(entry []byte, mm *msg.Msg) {
+		if mm.To != m.topo.Self {
+			return // misrouted frame: drop, like an unknown port
+		}
+		if m.ep.q.push(entry) == nil {
+			m.stats.delivered(m.topo.Self)
+		}
+	})
+	conn.Close()
+	p.mu.Lock()
+	current := p.conn == conn
+	if current {
+		p.conn = nil
+		p.dialer = -1
+	}
+	p.mu.Unlock()
+	if current && !m.isClosed() {
+		m.peerDown(p, fmt.Errorf("connection lost"))
+	}
+}
+
+// peerDown latches one peer's wire as failed (exactly once): the send
+// queue fails so blocked and future senders observe *ErrPeerDown, the
+// established connection (if any) closes, and registered OnPeerDown
+// callbacks fire so vkernel can fail the pending calls aimed at the
+// dead peer.
+func (m *MeshNetwork) peerDown(p *meshPeer, cause error) {
+	p.mu.Lock()
+	if p.down {
+		p.mu.Unlock()
+		return
+	}
+	p.down = true
+	conn := p.conn
+	p.conn = nil
+	p.dialer = -1
+	p.mu.Unlock()
+
+	if conn != nil {
+		conn.Close()
+	}
+	err := &ErrPeerDown{Node: p.node, Cause: cause}
+	p.q.fail(err)
+	m.stats.byClass.Add("wire.peer_down", 1)
+	m.mu.Lock()
+	var cbs []func(msg.NodeID, error)
+	cbs = append(cbs, m.onDown...)
+	m.mu.Unlock()
+	for _, cb := range cbs {
+		cb(p.node, err)
+	}
+}
+
+// connFor returns the peer's established connection, dialing it first
+// if none exists. Only the peer's writer goroutine calls this, so at
+// most one dial per peer is ever in flight from this side.
+func (m *MeshNetwork) connFor(p *meshPeer) (net.Conn, error) {
+	for {
+		p.mu.Lock()
+		if p.down {
+			p.mu.Unlock()
+			return nil, p.q.err()
+		}
+		if p.conn != nil {
+			conn := p.conn
+			p.mu.Unlock()
+			return conn, nil
+		}
+		if m.isClosed() {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		p.dialing = true
+		p.mu.Unlock()
+
+		conn, accepted, err := m.dialPeer(p.node)
+
+		p.mu.Lock()
+		p.dialing = false
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		if accepted {
+			if p.conn == nil {
+				if !m.registerConn(conn) {
+					p.mu.Unlock()
+					conn.Close()
+					return nil, ErrClosed
+				}
+				p.conn = conn
+				p.dialer = m.topo.Self
+				p.mu.Unlock()
+				m.startReader(p, conn)
+				return conn, nil
+			}
+			// An inbound connection was installed while our dial was in
+			// flight; the installed one stands, ours is redundant.
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		p.mu.Unlock()
+		// Rejected: we lost the duplicate-connection tiebreak. The
+		// surviving connection is the peer's own dial — wait for the
+		// acceptor to install it.
+		if c := m.awaitInbound(p); c != nil {
+			return c, nil
+		}
+		return nil, fmt.Errorf("handshake rejected by node %d and no inbound connection arrived", p.node)
+	}
+}
+
+// awaitInbound waits (bounded) for the acceptor to install the peer's
+// inbound connection after this side's dial lost the tiebreak.
+func (m *MeshNetwork) awaitInbound(p *meshPeer) net.Conn {
+	deadline := time.Now().Add(meshInboundWait)
+	for time.Now().Before(deadline) && !m.isClosed() {
+		p.mu.Lock()
+		conn, dead := p.conn, p.down
+		p.mu.Unlock()
+		if conn != nil || dead {
+			return conn
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// dialPeer opens a connection to the peer's topology address and runs
+// the dialer side of the handshake. accepted=false with a nil error
+// means the acceptor rejected us (tiebreak); an error means the peer
+// could not be reached within the retry budget.
+func (m *MeshNetwork) dialPeer(node msg.NodeID) (conn net.Conn, accepted bool, err error) {
+	addr := m.topo.Addr(node)
+	var lastErr error
+	for attempt := 0; attempt < meshDialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(meshDialBackoff)
+		}
+		if m.isClosed() {
+			return nil, false, ErrClosed
+		}
+		m.stats.byClass.Add("wire.dials", 1)
+		c, derr := net.DialTimeout("tcp", addr, meshDialTimeout)
+		if derr != nil {
+			lastErr = derr
+			continue
+		}
+		c.SetDeadline(time.Now().Add(meshHandshakeTimeout))
+		if _, werr := c.Write(encodeHello(m.topo.Self)); werr != nil {
+			c.Close()
+			lastErr = werr
+			continue
+		}
+		var ack [1]byte
+		if _, rerr := io.ReadFull(c, ack[:]); rerr != nil {
+			c.Close()
+			lastErr = rerr
+			continue
+		}
+		c.SetDeadline(time.Time{})
+		if ack[0] != helloAccept {
+			c.Close()
+			return nil, false, nil
+		}
+		return c, true, nil
+	}
+	return nil, false, fmt.Errorf("dial node %d (%s): %w", node, addr, lastErr)
+}
+
+// writeLoop is one peer's writer: identical in shape to the loopback
+// writer (drain, one vectored write, satisfy fences), with connection
+// establishment folded in and write/dial failures latched as peer
+// death instead of only on the queue.
+func (m *MeshNetwork) writeLoop(p *meshPeer) {
+	defer m.writerWG.Done()
+	for {
+		items, ok := p.q.drain()
+		if len(items) > 0 {
+			err := p.q.err()
+			if err == nil {
+				err = m.writeToPeer(p, items)
+				if err != nil {
+					if m.isClosed() {
+						err = ErrClosed
+					} else {
+						m.peerDown(p, err)
+						err = p.q.err() // the latched *ErrPeerDown
+					}
+				}
+			}
+			for _, it := range items {
+				if it.fence != nil {
+					it.fence <- err
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// writeToPeer establishes (if needed) the peer's connection and emits
+// one drained batch. A write that fails because the connection lost
+// the duplicate tiebreak mid-write — it is no longer the pair's
+// current connection — is retried once on the replacement rather than
+// treated as peer death; unreachable in the current no-reconnect
+// lifecycle, but the guard keeps a future reconnect policy from
+// turning a handshake race into a false latch.
+func (m *MeshNetwork) writeToPeer(p *meshPeer, items []sendItem) error {
+	for attempt := 0; ; attempt++ {
+		conn, err := m.connFor(p)
+		if err != nil {
+			return err
+		}
+		frames, shared, werr := writeItems(conn, items)
+		if werr == nil {
+			if frames > 0 {
+				m.stats.chargeWire(frames, shared)
+			}
+			return nil
+		}
+		p.mu.Lock()
+		replaced := p.conn != nil && p.conn != conn
+		p.mu.Unlock()
+		if !replaced || attempt >= 1 {
+			return werr
+		}
+	}
+}
+
+// meshEndpoint is the self node's attachment to the mesh.
+type meshEndpoint struct {
+	m *MeshNetwork
+	q *queue // receive side
+}
+
+func (e *meshEndpoint) Node() msg.NodeID { return e.m.topo.Self }
+
+// Send implements Endpoint: marshal, charge, and queue on the
+// destination peer's writer (which dials lazily on first use).
+// Self-sends are delivered directly to the local receive queue — they
+// have no wire to cross.
+func (e *meshEndpoint) Send(mm *msg.Msg) error {
+	if int(mm.To) < 0 || int(mm.To) >= e.m.topo.Nodes() {
+		return fmt.Errorf("transport: send to unknown node %d", mm.To)
+	}
+	mm.From = e.m.topo.Self
+	enc := mm.Marshal()
+	e.m.stats.charge(mm, e.m.cost, e.m.topo.Self)
+	if mm.To == e.m.topo.Self {
+		if err := e.q.push(enc); err != nil {
+			return err
+		}
+		e.m.stats.delivered(mm.To)
+		return nil
+	}
+	return e.m.peer(mm.To).q.put(sendItem{enc: enc, class: ClassOf(mm.Kind)})
+}
+
+// Flush implements Endpoint: fence every peer pipeline this process has
+// opened and wait until all messages enqueued before the call are on
+// the wire.
+//
+// Dead peers do not fail the fence: a latched peer's loss is reported
+// through the pending-call path (OnPeerDown → vkernel fails exactly
+// the calls aimed at it), and returning *ErrPeerDown here would poison
+// every later flush — including ones whose traffic involves only
+// healthy peers — for as long as the mesh lives. The fence's contract
+// stays "everything enqueued has reached a live wire or a latched
+// failure"; only shutdown-class errors surface.
+func (e *meshEndpoint) Flush() error {
+	e.m.mu.Lock()
+	peers := make([]*meshPeer, 0, len(e.m.peers))
+	for _, p := range e.m.peers {
+		peers = append(peers, p)
+	}
+	e.m.mu.Unlock()
+
+	var first error
+	var pd *ErrPeerDown
+	fences := make([]chan error, 0, len(peers))
+	for _, p := range peers {
+		ch := make(chan error, 1)
+		if err := p.q.put(sendItem{fence: ch}); err != nil {
+			if !errors.As(err, &pd) && first == nil {
+				first = err
+			}
+			continue
+		}
+		fences = append(fences, ch)
+	}
+	for _, ch := range fences {
+		if err := <-ch; err != nil && !errors.As(err, &pd) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (e *meshEndpoint) Recv() (*msg.Msg, error) {
+	buf, err := e.q.pop()
+	if err != nil {
+		return nil, err
+	}
+	return msg.Unmarshal(buf)
+}

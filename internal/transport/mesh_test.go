@@ -1,0 +1,497 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"munin/internal/msg"
+	"munin/internal/netutil"
+)
+
+// reserveAddrs grabs n loopback addresses for a topology
+// (netutil.ReserveAddrs; the bind race is tolerable in tests).
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs, err := netutil.ReserveAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addrs
+}
+
+// newMeshPair builds a live two-node mesh (both members in this test
+// process, each with its own listener and real TCP between them).
+func newMeshPair(t *testing.T) (a, b *MeshNetwork) {
+	t.Helper()
+	addrs := reserveAddrs(t, 2)
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	a, err := NewMeshNetwork(Topology{Self: 0, Peers: peers}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = NewMeshNetwork(Topology{Self: 1, Peers: peers}, CostModel{})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestMeshSendRecv(t *testing.T) {
+	a, b := newMeshPair(t)
+	// B dials lazily on first send.
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := a.Endpoint(0).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 1 || string(m.Payload) != "hi" {
+		t.Fatalf("got %v", m)
+	}
+	// The reverse direction reuses the established inbound connection:
+	// no dial from A.
+	if err := a.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("yo")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Endpoint(0).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m, err = b.Endpoint(1).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || string(m.Payload) != "yo" {
+		t.Fatalf("got %v", m)
+	}
+	if d := a.Stats().WireDials(); d != 0 {
+		t.Fatalf("A dialed %d times; the pair should share B's connection", d)
+	}
+	if d := b.Stats().WireDials(); d != 1 {
+		t.Fatalf("B dialed %d times, want 1", d)
+	}
+	// Self-sends never touch the wire.
+	if err := a.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("me")}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = a.Endpoint(0).Recv(); err != nil || string(m.Payload) != "me" {
+		t.Fatalf("self-send: %v, %v", m, err)
+	}
+}
+
+func TestMeshSimultaneousFirstSendsConverge(t *testing.T) {
+	// Both sides' first sends race: each writer dials, and the
+	// duplicate connection must be resolved (lower dialer ID wins)
+	// without losing either message. Repeat to hit different
+	// interleavings.
+	for i := 0; i < 5; i++ {
+		a, b := func() (*MeshNetwork, *MeshNetwork) {
+			addrs := reserveAddrs(t, 2)
+			peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+			a, err := NewMeshNetwork(Topology{Self: 0, Peers: peers}, CostModel{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewMeshNetwork(Topology{Self: 1, Peers: peers}, CostModel{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		}()
+		errs := make(chan error, 2)
+		go func() {
+			errs <- a.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("a")})
+		}()
+		go func() {
+			errs <- b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("b")})
+		}()
+		for j := 0; j < 2; j++ {
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m, err := a.Endpoint(0).Recv(); err != nil || string(m.Payload) != "b" {
+			t.Fatalf("iter %d: A got %v, %v", i, m, err)
+		}
+		if m, err := b.Endpoint(1).Recv(); err != nil || string(m.Payload) != "a" {
+			t.Fatalf("iter %d: B got %v, %v", i, m, err)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+// acceptWithHello accepts one connection on ln, validates the hello,
+// and acks it — a test stand-in for a remote mesh process.
+func acceptWithHello(t *testing.T, ln net.Listener, wantFrom msg.NodeID) net.Conn {
+	t.Helper()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(hello[:4]) != meshMagic {
+		t.Fatalf("bad magic %q", hello[:4])
+	}
+	if v := binary.BigEndian.Uint16(hello[4:6]); v != meshProtoVersion {
+		t.Fatalf("bad version %d", v)
+	}
+	if from := msg.NodeID(binary.BigEndian.Uint32(hello[6:10])); from != wantFrom {
+		t.Fatalf("hello from node %d, want %d", from, wantFrom)
+	}
+	if _, err := conn.Write([]byte{helloAccept}); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// dialWithHello dials a mesh listener pretending to be the given node
+// and returns the connection plus the acceptor's verdict byte.
+func dialWithHello(t *testing.T, addr string, as msg.NodeID) (net.Conn, byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(encodeHello(as)); err != nil {
+		t.Fatal(err)
+	}
+	var ack [1]byte
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		t.Fatalf("reading handshake verdict: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	return conn, ack[0]
+}
+
+// readWireMsg reads one frame off a raw connection and returns its
+// first message.
+func readWireMsg(t *testing.T, conn net.Conn) *msg.Msg {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+		t.Fatalf("reading frame length: %v", err)
+	}
+	frame := make([]byte, binary.BigEndian.Uint32(lenbuf[:]))
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		t.Fatalf("reading frame: %v", err)
+	}
+	msgs, err := msg.DecodeFrame(frame)
+	if err != nil || len(msgs) == 0 {
+		t.Fatalf("decoding frame: %v (%d msgs)", err, len(msgs))
+	}
+	return msgs[0]
+}
+
+// TestMeshTiebreakRejectsHigherDialer pins the acceptor side of the
+// duplicate-connection rule: a node that already owns the pair's
+// connection as the LOWER-ID dialer rejects an inbound duplicate from
+// the higher-ID side, and traffic keeps flowing on the original.
+func TestMeshTiebreakRejectsHigherDialer(t *testing.T) {
+	fake, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+	selfAddr := reserveAddrs(t, 1)[0]
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: selfAddr, 1: fake.Addr().String()},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Establish: node 0 dials the fake node 1 (dialer = 0, the low ID).
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	orig := acceptWithHello(t, fake, 0)
+	defer orig.Close()
+	if got := readWireMsg(t, orig); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+
+	// Duplicate: "node 1" dials back. Dialer ID 1 > 0 loses.
+	dup, verdict := dialWithHello(t, m.Addr(), 1)
+	defer dup.Close()
+	if verdict != helloReject {
+		t.Fatalf("duplicate from higher dialer got verdict %d, want reject", verdict)
+	}
+
+	// The established connection must still carry traffic.
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readWireMsg(t, orig); string(got.Payload) != "two" {
+		t.Fatalf("after duplicate rejection, got %v", got)
+	}
+}
+
+// TestMeshTiebreakLowerDialerReplaces pins the other half: a node
+// holding the pair's connection as the HIGHER-ID dialer yields to an
+// inbound connection dialed by the lower ID — the old stream closes
+// and subsequent traffic rides the winner.
+func TestMeshTiebreakLowerDialerReplaces(t *testing.T) {
+	fake, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+	selfAddr := reserveAddrs(t, 1)[0]
+	m, err := NewMeshNetwork(Topology{
+		Self:  1,
+		Peers: map[msg.NodeID]string{0: fake.Addr().String(), 1: selfAddr},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Establish: node 1 dials the fake node 0 (dialer = 1, the high ID).
+	if err := m.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	orig := acceptWithHello(t, fake, 1)
+	defer orig.Close()
+	if got := readWireMsg(t, orig); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+
+	// Duplicate: "node 0" dials in. Dialer ID 0 < 1 wins.
+	winner, verdict := dialWithHello(t, m.Addr(), 0)
+	defer winner.Close()
+	if verdict != helloAccept {
+		t.Fatalf("duplicate from lower dialer got verdict %d, want accept", verdict)
+	}
+
+	// The old connection is closed by the mesh...
+	orig.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := orig.Read(make([]byte, 1)); err == nil {
+		t.Fatal("old connection still open after losing the tiebreak")
+	}
+	// ...and new traffic rides the winner.
+	if err := m.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readWireMsg(t, winner); string(got.Payload) != "two" {
+		t.Fatalf("after replacement, got %v", got)
+	}
+}
+
+func TestMeshDialFailureLatchesErrPeerDown(t *testing.T) {
+	// Node 1's topology points node 0 at a port nobody listens on:
+	// the lazy dial fails, the peer latches, and both the fence and
+	// later sends surface *ErrPeerDown.
+	addrs := reserveAddrs(t, 2) // both released; addr[0] is dead
+	m, err := NewMeshNetwork(Topology{
+		Self:  1,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	downCh := make(chan msg.NodeID, 1)
+	m.OnPeerDown(func(peer msg.NodeID, err error) { downCh <- peer })
+
+	if err := m.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0}); err != nil {
+		t.Fatalf("async send should enqueue: %v", err)
+	}
+	// The fence waits out the failed dial but reports nil — peer death
+	// surfaces through OnPeerDown and fast-failing sends, not through
+	// the write-completion fence (see meshEndpoint.Flush).
+	if err := m.Endpoint(1).Flush(); err != nil {
+		t.Fatalf("fence after dial failure = %v, want nil", err)
+	}
+	var pd *ErrPeerDown
+	select {
+	case peer := <-downCh:
+		if peer != 0 {
+			t.Fatalf("OnPeerDown fired for node %d", peer)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnPeerDown never fired")
+	}
+	// Later sends fail fast with the same typed error.
+	err = m.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0})
+	if !errors.As(err, &pd) {
+		t.Fatalf("send after latch = %v, want *ErrPeerDown", err)
+	}
+	if got := m.Stats().WirePeerDown(); got != 1 {
+		t.Fatalf("wire.peer_down = %d, want 1", got)
+	}
+	if m.Stats().WireDials() < 1 {
+		t.Fatal("wire.dials not counted")
+	}
+}
+
+func TestMeshConnectionDeathLatchesErrPeerDown(t *testing.T) {
+	a, b := newMeshPair(t)
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Endpoint(0).Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	downCh := make(chan error, 1)
+	b.OnPeerDown(func(peer msg.NodeID, err error) { downCh <- err })
+	// "Kill" node 0: its shutdown closes the pair's connection while B
+	// stays up, so B's reader must latch peer 0 down.
+	a.Close()
+	select {
+	case err := <-downCh:
+		var pd *ErrPeerDown
+		if !errors.As(err, &pd) || pd.Node != 0 {
+			t.Fatalf("peer-down error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnPeerDown never fired after the connection died")
+	}
+	var pd *ErrPeerDown
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0}); !errors.As(err, &pd) {
+		t.Fatalf("send after connection death = %v, want *ErrPeerDown", err)
+	}
+}
+
+func TestMeshEndpointForOtherNodePanics(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Endpoint(1) on node 0's mesh did not panic")
+		}
+	}()
+	m.Endpoint(1)
+}
+
+func TestMeshRejectsBadHello(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	expectClosed := func(conn net.Conn, what string) {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatalf("%s: connection left open", what)
+		}
+		conn.Close()
+	}
+
+	// Wrong magic.
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("XXXX000000"))
+	expectClosed(conn, "bad magic")
+
+	// Wrong version.
+	conn, err = net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := encodeHello(1)
+	binary.BigEndian.PutUint16(bad[4:6], meshProtoVersion+1)
+	conn.Write(bad)
+	expectClosed(conn, "bad version")
+
+	// Unknown node ID.
+	conn, err = net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(encodeHello(7))
+	expectClosed(conn, "unknown node")
+
+	// A node cannot claim to be us.
+	conn, err = net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(encodeHello(0))
+	expectClosed(conn, "self hello")
+}
+
+func TestMeshFlushFencesHealthyPeersDespiteDeadOne(t *testing.T) {
+	// Three-node topology in one process: node 1 (self) talks to a
+	// live node 0 and a dead node 2. The fence must still drain node
+	// 0's traffic and report the dead peer's error.
+	addrs := reserveAddrs(t, 3)
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1], 2: addrs[2]}
+	a, err := NewMeshNetwork(Topology{Self: 0, Peers: peers}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewMeshNetwork(Topology{Self: 1, Peers: peers}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Node 2 never starts.
+
+	downCh := make(chan msg.NodeID, 1)
+	b.OnPeerDown(func(peer msg.NodeID, err error) { downCh <- peer })
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("alive")}); err != nil {
+		t.Fatal(err)
+	}
+	// The fence drains the healthy peer and does NOT surface the dead
+	// peer: its loss is reported through OnPeerDown (and, in a kernel,
+	// the pending-call fan-in). Returning ErrPeerDown from every later
+	// fence would poison flushes that involve only healthy peers.
+	if err := b.Endpoint(1).Flush(); err != nil {
+		t.Fatalf("fence = %v, want nil despite the dead peer", err)
+	}
+	m, err := a.Endpoint(0).Recv()
+	if err != nil || string(m.Payload) != "alive" {
+		t.Fatalf("healthy peer: %v, %v", m, err)
+	}
+	select {
+	case peer := <-downCh:
+		if peer != 2 {
+			t.Fatalf("OnPeerDown fired for node %d, want 2", peer)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dead peer never reported via OnPeerDown")
+	}
+	// Direct sends to the latched peer still fail fast and typed.
+	var pd *ErrPeerDown
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 2}); !errors.As(err, &pd) || pd.Node != 2 {
+		t.Fatalf("send to latched peer = %v, want *ErrPeerDown{Node: 2}", err)
+	}
+}
+
+var _ = fmt.Sprint // keep fmt for debugging edits

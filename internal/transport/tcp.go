@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"munin/internal/msg"
 )
@@ -81,7 +82,7 @@ func NewTCPNetwork(n int, cost CostModel) (*TCPNetwork, error) {
 				tn.Close()
 				return nil, err
 			}
-			p := &tcpPeer{conn: conn, q: newSendQueue(sendQueueDepth)}
+			p := &tcpPeer{conn: conn, q: newSendQueue(sendQueueDepth, tn.stats.chargeStall)}
 			tn.eps[i].peers[j] = p
 			tn.writerWG.Add(1)
 			go func(ep *tcpEndpoint) {
@@ -97,7 +98,22 @@ func NewTCPNetwork(n int, cost CostModel) (*TCPNetwork, error) {
 // contained messages to destination queues.
 func (tn *TCPNetwork) serveConn(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
+	readFrameStream(bufio.NewReader(conn), func(entry []byte, m *msg.Msg) {
+		if int(m.To) >= len(tn.eps) || m.To < 0 {
+			return
+		}
+		if tn.eps[m.To].q.push(entry) == nil {
+			tn.stats.delivered(m.To)
+		}
+	})
+}
+
+// readFrameStream is the inbound wire path shared by the loopback
+// harness and the mesh: it reads length-prefixed frame envelopes from r
+// and invokes deliver for every contained message until the stream ends
+// or a frame fails to decode. entry is the still-marshalled message
+// (aliasing the frame buffer); m is its decoded header.
+func readFrameStream(r *bufio.Reader, deliver func(entry []byte, m *msg.Msg)) {
 	var lenbuf [4]byte
 	for {
 		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
@@ -120,12 +136,7 @@ func (tn *TCPNetwork) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
-			if int(m.To) >= len(tn.eps) || m.To < 0 {
-				continue
-			}
-			if tn.eps[m.To].q.push(entry) == nil {
-				tn.stats.delivered(m.To)
-			}
+			deliver(entry, m)
 		}
 	}
 }
@@ -301,6 +312,31 @@ func (e *tcpEndpoint) writeLoop(p *tcpPeer) {
 // only by the msg.MaxFrameMessages cap — issued to the socket as a
 // single vectored write.
 func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
+	frames, shared, err := writeItems(p.conn, items)
+	if err != nil {
+		if e.net.isClosed() {
+			return ErrClosed
+		}
+		return err
+	}
+	if frames > 0 {
+		// One wire.writes tick per successful WriteTo. That is one write
+		// *operation*; the OS may split very large iovec lists (IOV_MAX)
+		// into a few syscalls, which this counter deliberately does not
+		// model — it measures the coalescing, not the kernel's chunking.
+		e.net.stats.chargeWire(frames, shared)
+	}
+	return nil
+}
+
+// writeItems is the outbound wire path shared by the loopback harness
+// and the mesh: it lays the batch's messages out as frame envelopes —
+// split only by the msg.MaxFrameMessages cap — and issues them to the
+// connection as a single vectored write. It returns the number of
+// frames emitted and the traffic classes of messages that shared a
+// frame with at least one other (for coalescing accounting); frames is
+// 0 when items held only fences.
+func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, err error) {
 	var (
 		bufs net.Buffers
 		hdr  []byte // backing storage for frame headers and prefixes
@@ -312,7 +348,7 @@ func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
 		}
 	}
 	if count == 0 {
-		return nil
+		return 0, nil, nil
 	}
 
 	// Lay the frames out. Each frame contributes [4B outer length]
@@ -320,10 +356,9 @@ func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
 	// headers and prefixes live in hdr and the message bytes are
 	// referenced in place, so the whole batch goes out without copying
 	// payloads.
-	frames := (count + msg.MaxFrameMessages - 1) / msg.MaxFrameMessages
+	frames = (count + msg.MaxFrameMessages - 1) / msg.MaxFrameMessages
 	hdr = make([]byte, 0, 8*frames+5*count)
 	i := 0
-	var shared []string
 	for f := 0; f < frames; f++ {
 		k := count - f*msg.MaxFrameMessages
 		if k > msg.MaxFrameMessages {
@@ -357,18 +392,10 @@ func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
 		}
 	}
 
-	if _, err := bufs.WriteTo(p.conn); err != nil {
-		if e.net.isClosed() {
-			return ErrClosed
-		}
-		return err
+	if _, err := bufs.WriteTo(conn); err != nil {
+		return 0, nil, err
 	}
-	// One wire.writes tick per successful WriteTo. That is one write
-	// *operation*; the OS may split very large iovec lists (IOV_MAX)
-	// into a few syscalls, which this counter deliberately does not
-	// model — it measures the coalescing, not the kernel's chunking.
-	e.net.stats.chargeWire(frames, shared)
-	return nil
+	return frames, shared, nil
 }
 
 func (tn *TCPNetwork) isClosed() bool {
@@ -404,12 +431,13 @@ type sendQueue struct {
 	queued   int // message items only; fences are exempt from the bound
 	limit    int
 	closed   bool
-	failed   error // latched first write error; the peer is dead
-	held     bool  // test hook: writer pauses so tests can stage a batch
+	failed   error       // latched first write error; the peer is dead
+	held     bool        // test hook: writer pauses so tests can stage a batch
+	onStall  func(int64) // backpressure accounting: ns a put spent blocked
 }
 
-func newSendQueue(limit int) *sendQueue {
-	q := &sendQueue{limit: limit}
+func newSendQueue(limit int, onStall func(int64)) *sendQueue {
+	q := &sendQueue{limit: limit, onStall: onStall}
 	q.notFull = sync.NewCond(&q.mu)
 	q.notEmpty = sync.NewCond(&q.mu)
 	return q
@@ -418,12 +446,20 @@ func newSendQueue(limit int) *sendQueue {
 // put appends an item, blocking while the queue is at its bound. A
 // sender blocked here when the queue closes is woken with ErrClosed; a
 // latched write error fails the send immediately (the peer is dead and
-// the writer only discards).
+// the writer only discards). Time spent blocked is reported through
+// onStall (the wire.queue_stall counters) so saturated peers show up
+// in benchmark output rather than as silent latency.
 func (q *sendQueue) put(it sendItem) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil {
-		q.notFull.Wait()
+	if it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil {
+		start := time.Now()
+		for it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil {
+			q.notFull.Wait()
+		}
+		if q.onStall != nil {
+			q.onStall(time.Since(start).Nanoseconds())
+		}
 	}
 	if q.closed {
 		return ErrClosed

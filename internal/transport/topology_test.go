@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"munin/internal/msg"
+)
+
+func TestParsePeersValid(t *testing.T) {
+	topo, err := ParsePeers("0=127.0.0.1:7000, 1=127.0.0.1:7001", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Nodes() != 2 || topo.Self != 1 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	if topo.Addr(0) != "127.0.0.1:7000" || topo.Addr(1) != "127.0.0.1:7001" {
+		t.Fatalf("addresses = %q, %q", topo.Addr(0), topo.Addr(1))
+	}
+}
+
+func TestParsePeersFailures(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		self       msg.NodeID
+		wantSub    string
+	}{
+		{"empty", "", 0, "no peers"},
+		{"no equals", "0:127.0.0.1:7000", 0, "not id=host:port"},
+		{"bad id", "x=127.0.0.1:7000", 0, "bad node ID"},
+		{"negative id", "-1=127.0.0.1:7000", 0, "bad node ID"},
+		{"duplicate", "0=a:1,0=b:2", 0, "duplicate node 0"},
+		{"not dense", "0=a:1,2=b:2", 0, "not dense"},
+		{"empty addr", "0=a:1,1=", 0, "empty address"},
+		{"no port", "0=a:1,1=b", 0, "not host:port"},
+		{"self out of range", "0=a:1,1=b:2", 5, "self 5 not in 0..1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePeers(tc.spec, tc.self)
+			if err == nil {
+				t.Fatalf("ParsePeers(%q, %d) succeeded, want error containing %q", tc.spec, tc.self, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	in := Topology{Self: 1, Peers: map[msg.NodeID]string{0: "h0:1", 1: "h1:2", 2: "h2:3"}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Topology
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Self != in.Self || len(out.Peers) != len(in.Peers) {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	for id, addr := range in.Peers {
+		if out.Peers[id] != addr {
+			t.Fatalf("node %d address %q != %q", id, out.Peers[id], addr)
+		}
+	}
+}
+
+func TestLoadTopology(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{"self": 1, "peers": {"0": "127.0.0.1:7000", "1": "127.0.0.1:7001"}}`)
+	topo, err := LoadTopology(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Self != 1 || topo.Addr(0) != "127.0.0.1:7000" {
+		t.Fatalf("loaded %+v", topo)
+	}
+
+	for name, tc := range map[string]struct{ content, wantSub string }{
+		"syntax":    {`{"self": 0`, "topology"},
+		"bad key":   {`{"self": 0, "peers": {"zero": "a:1"}}`, "not a node ID"},
+		"bad self":  {`{"self": 9, "peers": {"0": "a:1"}}`, "self 9"},
+		"not dense": {`{"self": 0, "peers": {"0": "a:1", "3": "b:2"}}`, "not dense"},
+		"no port":   {`{"self": 0, "peers": {"0": "justahost"}}`, "not host:port"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := write(name+".json", tc.content)
+			if _, err := LoadTopology(p); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("LoadTopology(%s) = %v, want error containing %q", name, err, tc.wantSub)
+			}
+		})
+	}
+
+	if _, err := LoadTopology(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}

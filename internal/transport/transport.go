@@ -3,16 +3,24 @@
 // nodes share nothing and exchange only serialized messages, so every
 // byte of coherence traffic crosses an explicit, counted boundary.
 //
-// Two implementations are provided:
+// Three implementations are provided:
 //
 //   - ChanNetwork: in-process, one goroutine-safe queue per node. This is
 //     the default substrate for experiments; it is deterministic-enough,
 //     fast, and charges every message against a configurable cost model
 //     (per-message latency + per-byte bandwidth) accumulated as modeled
 //     network time rather than slept, so benchmarks stay fast.
-//   - TCPNetwork: real sockets over loopback (package net), used to
-//     demonstrate that the runtime's messaging layer works over an actual
-//     network stack and to measure it at syscall granularity.
+//   - TCPNetwork: real sockets over loopback (package net), all nodes in
+//     one process — used to demonstrate that the runtime's messaging
+//     layer works over an actual network stack and to measure it at
+//     syscall granularity.
+//   - MeshNetwork: one node per OS process, connected by a Topology
+//     (node ID → host:port). Lazy per-peer dialing with a versioned
+//     hello handshake, one bidirectional connection per pair
+//     (duplicate dials tie-broken deterministically by lower dialer
+//     ID), and real failure semantics: a dead peer latches ErrPeerDown
+//     into sends, fences, and — via PeerDownNotifier — vkernel's
+//     pending-call table.
 //
 // # The writer pipeline
 //
@@ -46,7 +54,8 @@
 // anything that wants modeled network costs without real latency;
 // TCPNetwork when the measurement is about the wire itself (write
 // syscalls, framing, coalescing — bench E11) or to validate against a
-// real byte stream.
+// real byte stream; MeshNetwork when nodes must be separately
+// addressable processes or hosts (bench E12, `munin-bench -peers`).
 //
 // Both count messages and bytes per node and per traffic class, plus
 // wire-level counters (wire.writes, wire.frames, wire.coalesced) that
@@ -66,6 +75,37 @@ import (
 
 // ErrClosed is returned by operations on a closed endpoint or network.
 var ErrClosed = errors.New("transport: closed")
+
+// ErrPeerDown reports that a peer's wire has failed: a dial could not
+// be completed, a write error was latched on the peer's send queue, or
+// an established connection died. Once latched, every later Send,
+// Flush fence, and (through vkernel's pending-call table) every
+// outstanding call aimed at that peer fails with this error instead of
+// hanging until Close. Detect it with errors.As; Unwrap exposes the
+// underlying network error.
+type ErrPeerDown struct {
+	// Node is the peer whose wire failed.
+	Node msg.NodeID
+	// Cause is the underlying dial/write/read error.
+	Cause error
+}
+
+func (e *ErrPeerDown) Error() string {
+	return fmt.Sprintf("transport: peer %d down: %v", e.Node, e.Cause)
+}
+
+func (e *ErrPeerDown) Unwrap() error { return e.Cause }
+
+// PeerDownNotifier is implemented by transports that detect peer death
+// (MeshNetwork). vkernel registers a callback at construction so a
+// latched wire failure fails exactly the pending calls aimed at the
+// dead peer.
+type PeerDownNotifier interface {
+	// OnPeerDown registers fn to be invoked (once per peer) when a
+	// peer's wire is latched as failed. fn runs on a transport
+	// goroutine and must not block.
+	OnPeerDown(fn func(peer msg.NodeID, err error))
+}
 
 // Endpoint is one node's attachment to the network.
 //
@@ -233,6 +273,14 @@ func (s *Stats) chargeWire(frames int, sharedClasses []string) {
 	}
 }
 
+// chargeStall records one Send blocked on a full peer send queue and
+// how long it waited — the writer-side backpressure that makes
+// saturated peers visible in benchmark output.
+func (s *Stats) chargeStall(ns int64) {
+	s.byClass.Add("wire.queue_stall", 1)
+	s.byClass.Add("wire.queue_stall.ns", ns)
+}
+
 // WireWrites returns the number of coalesced write operations issued to
 // the underlying wire: one per successful vectored write on TCP (the OS
 // may split an enormous iovec list at IOV_MAX; that kernel-level
@@ -246,6 +294,22 @@ func (s *Stats) WireFrames() int64 { return s.byClass.Get("wire.frames") }
 // WireCoalesced returns the number of messages that shared a wire frame
 // with at least one other message.
 func (s *Stats) WireCoalesced() int64 { return s.byClass.Get("wire.coalesced") }
+
+// WireDials returns the number of connection attempts the mesh
+// transport made (lazy per-peer dialing; retries count individually).
+func (s *Stats) WireDials() int64 { return s.byClass.Get("wire.dials") }
+
+// WirePeerDown returns the number of peers whose wire has been latched
+// as failed.
+func (s *Stats) WirePeerDown() int64 { return s.byClass.Get("wire.peer_down") }
+
+// WireQueueStalls returns how many Sends blocked on a full peer send
+// queue (writer-side backpressure).
+func (s *Stats) WireQueueStalls() int64 { return s.byClass.Get("wire.queue_stall") }
+
+// WireQueueStallNs returns the total nanoseconds Sends spent blocked on
+// full peer send queues.
+func (s *Stats) WireQueueStallNs() int64 { return s.byClass.Get("wire.queue_stall.ns") }
 
 // ClassMessages returns the message count for one traffic class.
 func (s *Stats) ClassMessages(class string) int64 { return s.byClass.Get(class) }

@@ -9,6 +9,21 @@
 // a handler may itself issue Calls to other nodes (directory protocols
 // need this: a home node forwards a request to the current owner while
 // the requester stays blocked).
+//
+// Requests ride the transport's asynchronous writer pipeline: CallStart
+// and MulticastCallStart enqueue without waiting for the wire, Flush
+// fences everything enqueued so far, and Pending.Wait collects the
+// replies — the shape a batched protocol flush uses to start every
+// destination, fence once, and let all destinations' traffic leave in
+// coalesced frames. The blocking Call/MulticastCall/CallInline forms
+// are built on the same three steps.
+//
+// Every pending call records its destination set. On transports that
+// detect peer death (transport.PeerDownNotifier — the multi-process
+// mesh), a latched wire failure fails exactly the pending calls aimed
+// at the dead peer with *transport.ErrPeerDown instead of leaving them
+// blocked until Close; the kernel counts each such failure as
+// call.failed_peer (see Counters).
 package vkernel
 
 import (
@@ -19,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"munin/internal/msg"
+	"munin/internal/stats"
 	"munin/internal/transport"
 )
 
@@ -43,6 +59,10 @@ type Kernel struct {
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// C counts kernel-level events (currently call.failed_peer: pending
+	// calls failed because their destination's wire died).
+	C stats.Set
 }
 
 type handlerRange struct {
@@ -53,14 +73,37 @@ type handlerRange struct {
 // pendingCall tracks an outstanding Call or MulticastCall: want replies
 // are expected; each arrives on ch. If inline is non-nil it runs on the
 // dispatcher goroutine, before any later incoming message is dispatched.
+// dsts is the set of destinations whose replies are still outstanding —
+// the record that lets a peer's wire death fail exactly the calls aimed
+// at it (fail delivers the error to the waiter).
 type pendingCall struct {
 	ch     chan *msg.Msg
 	want   int
 	got    int
 	inline func(*msg.Msg)
+	dsts   []msg.NodeID
+	fail   chan error
 }
 
-// New creates and starts a kernel for node id on the given network.
+// awaiting reports whether the call still expects a reply from node n,
+// and drops one occurrence of n if so. Caller holds k.mu.
+func (pc *pendingCall) awaiting(n msg.NodeID, drop bool) bool {
+	for i, d := range pc.dsts {
+		if d == n {
+			if drop {
+				pc.dsts[i] = pc.dsts[len(pc.dsts)-1]
+				pc.dsts = pc.dsts[:len(pc.dsts)-1]
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// New creates and starts a kernel for node id on the given network. If
+// the network reports peer death (transport.PeerDownNotifier), the
+// kernel subscribes so pending calls aimed at a dead peer fail with
+// *transport.ErrPeerDown instead of blocking until Close.
 func New(net transport.Network, node msg.NodeID) *Kernel {
 	k := &Kernel{
 		net:     net,
@@ -70,10 +113,39 @@ func New(net transport.Network, node msg.NodeID) *Kernel {
 		groups:  make(map[int][]msg.NodeID),
 		done:    make(chan struct{}),
 	}
+	if pn, ok := net.(transport.PeerDownNotifier); ok {
+		pn.OnPeerDown(k.peerDown)
+	}
 	k.wg.Add(1)
 	go k.dispatchLoop()
 	return k
 }
+
+// peerDown fails every pending call still awaiting a reply from the
+// dead peer. A multicast call that has already collected some replies
+// fails whole: its synchronization guarantee (every destination
+// acknowledged) can no longer be met.
+func (k *Kernel) peerDown(peer msg.NodeID, err error) {
+	k.mu.Lock()
+	var failed []*pendingCall
+	for seq, pc := range k.pending {
+		if pc.awaiting(peer, false) {
+			failed = append(failed, pc)
+			delete(k.pending, seq)
+		}
+	}
+	k.mu.Unlock()
+	for _, pc := range failed {
+		k.C.Add("call.failed_peer", 1)
+		select {
+		case pc.fail <- err:
+		default: // already failed (second peer died first)
+		}
+	}
+}
+
+// Counters returns a snapshot of the kernel's event counters.
+func (k *Kernel) Counters() map[string]int64 { return k.C.Snapshot() }
 
 // Node returns this kernel's node ID.
 func (k *Kernel) Node() msg.NodeID { return k.node }
@@ -118,22 +190,28 @@ func (k *Kernel) Group(id int) []msg.NodeID {
 type Pending struct {
 	k    *Kernel
 	ch   chan *msg.Msg
+	fail chan error
 	want int
 }
 
 // register allocates a correlation sequence and a pending-call record
-// expecting want replies.
-func (k *Kernel) register(want int, inline func(*msg.Msg)) (uint64, *Pending, error) {
+// expecting one reply from each destination in dsts.
+func (k *Kernel) register(dsts []msg.NodeID, inline func(*msg.Msg)) (uint64, *Pending, error) {
 	seq := k.seq.Add(1)
+	want := len(dsts)
 	ch := make(chan *msg.Msg, want)
+	fail := make(chan error, 1)
 	k.mu.Lock()
 	if k.closed {
 		k.mu.Unlock()
 		return 0, nil, ErrClosed
 	}
-	k.pending[seq] = &pendingCall{ch: ch, want: want, inline: inline}
+	k.pending[seq] = &pendingCall{
+		ch: ch, want: want, inline: inline, fail: fail,
+		dsts: append([]msg.NodeID(nil), dsts...),
+	}
 	k.mu.Unlock()
-	return seq, &Pending{k: k, ch: ch, want: want}, nil
+	return seq, &Pending{k: k, ch: ch, fail: fail, want: want}, nil
 }
 
 func (k *Kernel) unregister(seq uint64) {
@@ -146,13 +224,12 @@ func (k *Kernel) unregister(seq uint64) {
 // in arrival order. Waiting on a nil Pending (a multicast that had no
 // remote members) returns immediately.
 //
-// Caveat: sends are asynchronous, so a request whose bytes are lost to
-// a peer connection dying after the enqueue has no reply coming; its
-// Wait returns only when the kernel closes. Later sends and fences to
-// the dead peer fail fast (the transport latches the write error), and
-// on the loopback transports a connection only dies at shutdown, where
-// Close unblocks every waiter — but a future multi-host transport
-// should fail pending calls on wire death (see ROADMAP).
+// A request aimed at a peer whose wire dies — the dial failed, a write
+// was lost, or the established connection broke — has no reply coming;
+// on transports that detect peer death (the mesh), Wait returns
+// *transport.ErrPeerDown for it promptly instead of blocking until the
+// kernel closes. On the loopback transports a connection only dies at
+// shutdown, where Close unblocks every waiter with ErrClosed.
 func (p *Pending) Wait() ([]*msg.Msg, error) {
 	if p == nil || p.want == 0 {
 		return nil, nil
@@ -162,6 +239,8 @@ func (p *Pending) Wait() ([]*msg.Msg, error) {
 		select {
 		case reply := <-p.ch:
 			replies = append(replies, reply)
+		case err := <-p.fail:
+			return replies, err
 		case <-p.k.done:
 			return replies, ErrClosed
 		}
@@ -180,7 +259,7 @@ func (k *Kernel) CallStart(dst msg.NodeID, kind msg.Kind, payload []byte) (*Pend
 }
 
 func (k *Kernel) callStart(dst msg.NodeID, kind msg.Kind, payload []byte, inline func(*msg.Msg)) (*Pending, error) {
-	seq, p, err := k.register(1, inline)
+	seq, p, err := k.register([]msg.NodeID{dst}, inline)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +317,7 @@ func (k *Kernel) MulticastCallStart(members []msg.NodeID, kind msg.Kind, payload
 	if len(dst) == 0 {
 		return nil, nil
 	}
-	seq, p, err := k.register(len(dst), nil)
+	seq, p, err := k.register(dst, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -340,6 +419,9 @@ func (k *Kernel) dispatchLoop() {
 			pc, ok := k.pending[m.Seq]
 			if ok {
 				pc.got++
+				// This destination has answered: a later wire death of
+				// that peer no longer concerns this call.
+				pc.awaiting(m.From, true)
 				if pc.got >= pc.want {
 					delete(k.pending, m.Seq)
 				}

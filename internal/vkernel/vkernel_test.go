@@ -4,8 +4,10 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"munin/internal/msg"
+	"munin/internal/netutil"
 	"munin/internal/transport"
 )
 
@@ -231,5 +233,106 @@ func TestHandlerRangeDispatch(t *testing.T) {
 	}
 	if got := <-hits; got != "lock" {
 		t.Fatalf("dispatched to %q, want lock", got)
+	}
+}
+
+// newMeshKernels builds a live two-process-shaped mesh inside this test
+// process: two MeshNetworks over real loopback TCP, one kernel each.
+func newMeshKernels(t *testing.T) (k0, k1 *Kernel, net0, net1 *transport.MeshNetwork) {
+	t.Helper()
+	addrs, err := netutil.ReserveAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	net0, err = transport.NewMeshNetwork(transport.Topology{Self: 0, Peers: peers}, transport.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net1, err = transport.NewMeshNetwork(transport.Topology{Self: 1, Peers: peers}, transport.CostModel{})
+	if err != nil {
+		net0.Close()
+		t.Fatal(err)
+	}
+	k0 = New(net0, 0)
+	k1 = New(net1, 1)
+	t.Cleanup(func() {
+		k0.Close()
+		k1.Close()
+		net0.Close()
+		net1.Close()
+		k0.Wait()
+		k1.Wait()
+	})
+	return k0, k1, net0, net1
+}
+
+// TestBlockedCallFailsWithErrPeerDownOnWireDeath is the ROADMAP's
+// wire-death acceptance shape: a Call blocked on a reply returns
+// *transport.ErrPeerDown promptly (well under a second) when the
+// peer's connection dies mid-call, instead of hanging until Close.
+func TestBlockedCallFailsWithErrPeerDownOnWireDeath(t *testing.T) {
+	k0, k1, net0, _ := newMeshKernels(t)
+
+	received := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	k0.Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		close(received)
+		<-release // never replies while the test runs
+	})
+
+	type outcome struct {
+		err     error
+		elapsed time.Duration
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		start := time.Now()
+		_, err := k1.Call(0, msg.KindPing, []byte("stuck"))
+		res <- outcome{err: err, elapsed: time.Since(start)}
+	}()
+
+	select {
+	case <-received:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached node 0")
+	}
+	// Kill node 0's side of the wire while the call is blocked.
+	killAt := time.Now()
+	net0.Close()
+
+	select {
+	case out := <-res:
+		var pd *transport.ErrPeerDown
+		if !errors.As(out.err, &pd) || pd.Node != 0 {
+			t.Fatalf("blocked call returned %v, want *ErrPeerDown{Node: 0}", out.err)
+		}
+		if waited := time.Since(killAt); waited > time.Second {
+			t.Fatalf("call took %v after the wire died, want < 1s", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked call never returned after the wire died")
+	}
+	if got := k1.Counters()["call.failed_peer"]; got != 1 {
+		t.Fatalf("call.failed_peer = %d, want 1", got)
+	}
+}
+
+// TestReplyBeatsLatePeerDeath: a call whose reply already arrived is
+// not failed when its peer dies afterwards.
+func TestReplyBeatsLatePeerDeath(t *testing.T) {
+	k0, k1, net0, _ := newMeshKernels(t)
+	k0.Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, []byte("ok"))
+	})
+	reply, err := k1.Call(0, msg.KindPing, nil)
+	if err != nil || string(reply.Payload) != "ok" {
+		t.Fatalf("call: %v, %v", reply, err)
+	}
+	net0.Close()
+	// The completed call is untouched; only the counter stays zero.
+	if got := k1.Counters()["call.failed_peer"]; got != 0 {
+		t.Fatalf("call.failed_peer = %d after a completed call, want 0", got)
 	}
 }
