@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	munin-bench [-nodes N] [-exp F1|T1|E1|...|E12|all] [-json path]
+//	munin-bench [-nodes N] [-exp F1|T1|E1|...|E13|all] [-json path]
 //
 // With -json, every experiment's headline metrics are also written to
 // the given file as a JSON array, so successive runs can be archived as
@@ -102,7 +102,9 @@ func meshMain(topoPath, peersSpec, listen string, node, k int, serial bool) {
 	}
 	fmt.Printf("writer: node %d flushed %d dirty objects homed on node 0\n", topo.Self, m.K)
 	fmt.Printf("  wire writes during flush: %d (messages: %d)\n", m.Writes, m.Msgs)
-	fmt.Printf("  dials: %d  queue stalls: %d (%.3fms)\n", m.Dials, m.Stalls, float64(m.StallNs)/1e6)
+	fmt.Printf("  dials: %d  queue stalls: %d (%.3fms)  misrouted: %d\n",
+		m.Dials, m.Stalls, float64(m.StallNs)/1e6, m.Misrouted)
+	fmt.Printf("  done reply survived home shutdown: %v\n", m.DoneAcked)
 }
 
 func main() {
@@ -110,7 +112,7 @@ func main() {
 		return
 	}
 	nodes := flag.Int("nodes", 4, "number of simulated processors")
-	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E12, or all)")
+	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E13, or all)")
 	jsonPath := flag.String("json", "", "write experiment metrics to this file as JSON")
 	node := flag.Int("node", -1, "multi-process mode: this process's node ID")
 	listen := flag.String("listen", "", "multi-process mode: override this node's bind address")
@@ -129,7 +131,7 @@ func main() {
 		"F1": bench.F1, "T1": bench.T1, "E1": bench.E1, "E2": bench.E2,
 		"E3": bench.E3, "E4": bench.E4, "E5": bench.E5, "E6": bench.E6,
 		"E7": bench.E7, "E8": bench.E8, "E9": bench.E9, "E10": bench.E10,
-		"E11": bench.E11, "E12": bench.E12,
+		"E11": bench.E11, "E12": bench.E12, "E13": bench.E13,
 	}
 
 	var results []*bench.Result
@@ -138,7 +140,7 @@ func main() {
 	} else {
 		run, ok := runners[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E12, or all\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E13, or all\n", *exp)
 			os.Exit(2)
 		}
 		results = []*bench.Result{run(*nodes)}

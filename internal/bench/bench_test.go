@@ -214,6 +214,14 @@ func TestE12WireWritesFlatAcrossProcesses(t *testing.T) {
 		if got > 3 {
 			t.Errorf("batched flush of %s objects took %v wire writes across processes, want O(1)", k, got)
 		}
+		// The done signal is a two-way Call again: its reply must ride
+		// ahead of the home's goodbye, never lost to the latch.
+		if acked := r.Metrics["done.acked."+k]; acked != 1 {
+			t.Errorf("round k=%s: done reply lost to the shutdown (done.acked = %v, want 1)", k, acked)
+		}
+		if mis := r.Metrics["misrouted."+k]; mis != 0 {
+			t.Errorf("round k=%s: %v misrouted frames on a correct topology, want 0", k, mis)
+		}
 	}
 	// The serial path pays one write per diff round trip, so it must
 	// grow with K while batched stays put.
@@ -222,12 +230,49 @@ func TestE12WireWritesFlatAcrossProcesses(t *testing.T) {
 	}
 }
 
+// TestE13KillAndRejoin is the failure-lifecycle acceptance shape:
+// during the outage exactly the blocked call fails, typed and fast;
+// after the re-dial the pair is healthy on a fresh epoch; and the
+// flush costs O(1) wire writes before the kill and after the rejoin.
+func TestE13KillAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in short mode")
+	}
+	r := E13(2)
+	if len(r.Metrics) == 0 {
+		t.Fatalf("round produced no metrics: %v", r.Notes)
+	}
+	if got := r.Metrics["outage.typed"]; got != 1 {
+		t.Errorf("outage errors were not typed *transport.ErrPeerDown (outage.typed = %v)", got)
+	}
+	if got := r.Metrics["outage.probe_ms"]; got > 1000 {
+		t.Errorf("fresh call during the outage took %vms to fail, want < 1s", got)
+	}
+	if got := r.Metrics["outage.failed_peer"]; got != 1 {
+		t.Errorf("call.failed_peer = %v, want exactly the one parked call", got)
+	}
+	if got := r.Metrics["rejoin.echo_ok"]; got != 1 {
+		t.Errorf("home could not call into the rejoined writer (rejoin.echo_ok = %v)", got)
+	}
+	if got := r.Metrics["rejoin.reconnects"]; got < 1 {
+		t.Errorf("rejoin.reconnects = %v, want >= 1", got)
+	}
+	if got := r.Metrics["rejoin.epoch"]; got < 2 {
+		t.Errorf("rejoin.epoch = %v, want >= 2 (past the dead generation)", got)
+	}
+	for _, m := range []string{"flush.writes.before", "flush.writes.after"} {
+		if got := r.Metrics[m]; got > 3 {
+			t.Errorf("%s = %v wire writes for 64 objects, want O(1)", m, got)
+		}
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 14 {
+	if len(results) != 15 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

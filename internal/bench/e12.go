@@ -40,20 +40,23 @@ const kindMeshDone = msg.KindAppBase + 0x7E
 
 // meshChildConfig is the JSON carried in MUNIN_MESH_CHILD.
 type meshChildConfig struct {
-	Role   string             `json:"role"` // "home" or "writer"
+	Role   string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13)
 	Topo   transport.Topology `json:"topo"`
 	K      int                `json:"k"`
 	Serial bool               `json:"serial"`
+	Phase  int                `json:"phase,omitempty"` // e13-writer: 1 = doomed incarnation, 2 = rejoin
 }
 
 // MeshMetrics is what the writer process measures around its flush.
 type MeshMetrics struct {
-	K       int   `json:"k"`
-	Writes  int64 `json:"writes"`   // writer-side wire writes during the flush
-	Msgs    int64 `json:"msgs"`     // writer-side messages during the flush
-	Stalls  int64 `json:"stalls"`   // send-queue backpressure stalls (whole run)
-	StallNs int64 `json:"stall_ns"` // total ns spent in those stalls
-	Dials   int64 `json:"dials"`    // connections dialed (whole run)
+	K         int   `json:"k"`
+	Writes    int64 `json:"writes"`     // writer-side wire writes during the flush
+	Msgs      int64 `json:"msgs"`       // writer-side messages during the flush
+	Stalls    int64 `json:"stalls"`     // send-queue backpressure stalls (whole run)
+	StallNs   int64 `json:"stall_ns"`   // total ns spent in those stalls
+	Dials     int64 `json:"dials"`      // connections dialed (whole run)
+	Misrouted int64 `json:"misrouted"`  // inbound frames addressed to some other node
+	DoneAcked bool  `json:"done_acked"` // the done Call's reply survived the home's shutdown
 }
 
 // meshReadyLine is printed by the home process once its listener is
@@ -90,6 +93,10 @@ func MeshChildMain() bool {
 			enc, _ := json.Marshal(m)
 			fmt.Printf("%s%s\n", meshMetricsPrefix, enc)
 		}
+	case "e13-home":
+		err = RunE13Home(cfg.Topo, os.Stdout)
+	case "e13-writer":
+		err = RunE13Writer(cfg.Topo, cfg.K, cfg.Phase, os.Stdout)
 	default:
 		err = fmt.Errorf("unknown mesh role %q", cfg.Role)
 	}
@@ -128,6 +135,11 @@ func RunMeshHome(topo transport.Topology, serial bool, ready *os.File) error {
 	done := make(chan struct{})
 	clu.Kernel(topo.Self).Handle(kindMeshDone, kindMeshDone,
 		func(k *vkernel.Kernel, req *msg.Msg) {
+			// Reply BEFORE signaling: the reply is then queued ahead of
+			// the goodbye this process's Close emits, and the mesh's
+			// goodbye drain guarantees the writer receives it — the
+			// reply-vs-EOF race the PR-3 lifecycle had is closed.
+			k.Reply(req, nil)
 			close(done)
 		})
 	if ready != nil {
@@ -166,14 +178,35 @@ func RunMeshWriter(topo transport.Topology, k int, serial bool) (m MeshMetrics, 
 	}
 	defer clu.Close()
 
+	m, err = flushWorkload(clu, node, 1, k)
+	if err != nil {
+		return m, err
+	}
+	// Two-way: the home replies and then shuts down, with its goodbye
+	// queued BEHIND the reply — the goodbye drain guarantees the reply
+	// is delivered before the departure marker, so this Call can never
+	// lose the reply-vs-EOF race that forced PR 3 to make the done
+	// signal one-way.
+	if _, err := clu.Kernel(topo.Self).Call(0, kindMeshDone, nil); err != nil {
+		return m, fmt.Errorf("done reply lost to the shutdown: %w", err)
+	}
+	m.DoneAcked = true
+	return m, nil
+}
+
+// flushWorkload is the measured core shared by E12 and E13 writers:
+// allocate k write-many objects (IDs first..first+k-1) homed on node
+// 0, prime local copies, dirty all k, flush once, and measure this
+// process's wire writes for the flush.
+func flushWorkload(clu *cluster.Cluster, node *protocol.Node, first memory.ObjectID, k int) (MeshMetrics, error) {
 	q := duq.New()
 	opts := protocol.DefaultOptions()
 	opts.Home = 0
 	regions := make([]memory.ObjectID, k)
 	for i := range regions {
-		regions[i] = memory.ObjectID(i + 1)
+		regions[i] = first + memory.ObjectID(i)
 		meta := protocol.Meta{
-			ID: regions[i], Name: fmt.Sprintf("wm%d", i), Size: 64,
+			ID: regions[i], Name: fmt.Sprintf("wm%d", regions[i]), Size: 64,
 			Annot: protocol.WriteMany, Opts: opts,
 		}
 		node.Alloc(meta, nil)
@@ -191,24 +224,17 @@ func RunMeshWriter(topo transport.Topology, k int, serial bool) (m MeshMetrics, 
 	st := clu.Stats()
 	beforeW, beforeM := st.WireWrites(), st.Messages()
 	if err := node.TryFlushQueue(q); err != nil {
-		return m, fmt.Errorf("flush: %w", err)
+		return MeshMetrics{}, fmt.Errorf("flush: %w", err)
 	}
-	m = MeshMetrics{
-		K:       k,
-		Writes:  st.WireWrites() - beforeW,
-		Msgs:    st.Messages() - beforeM,
-		Stalls:  st.WireQueueStalls(),
-		StallNs: st.WireQueueStallNs(),
-		Dials:   st.WireDials(),
-	}
-	// One-way: the mesh Close drains it to the wire, and the home exits
-	// once it arrives. A Call would race the home's shutdown FIN — the
-	// writer's reader could latch the peer down before the dispatcher
-	// consumed the already-delivered reply.
-	if err := clu.Kernel(topo.Self).Send(0, kindMeshDone, nil); err != nil {
-		return m, fmt.Errorf("done signal: %w", err)
-	}
-	return m, nil
+	return MeshMetrics{
+		K:         k,
+		Writes:    st.WireWrites() - beforeW,
+		Msgs:      st.Messages() - beforeM,
+		Stalls:    st.WireQueueStalls(),
+		StallNs:   st.WireQueueStallNs(),
+		Dials:     st.WireDials(),
+		Misrouted: st.WireMisrouted(),
+	}, nil
 }
 
 // e12Topology builds the two-process topology over preassigned
@@ -324,7 +350,7 @@ func runE12RoundRetry(k int, serial bool) (MeshMetrics, error) {
 // matching E11's two-node shape.
 func E12(nodes int) *Result {
 	tab := stats.NewTable("E12: flush across two OS processes — writer-side wire writes per synchronization",
-		"dirty objects", "serial writes", "batched writes", "batched msgs", "dials", "queue stalls")
+		"dirty objects", "serial writes", "batched writes", "batched msgs", "dials", "queue stalls", "misrouted", "done acked")
 	res := &Result{ID: "E12", Table: tab, Metrics: map[string]float64{}}
 
 	for _, k := range []int{1, 16, 64} {
@@ -338,14 +364,22 @@ func E12(nodes int) *Result {
 			res.Notes = append(res.Notes, fmt.Sprintf("round k=%d batched failed: %v", k, err))
 			continue
 		}
-		tab.AddRow(k, serial.Writes, batched.Writes, batched.Msgs, batched.Dials, batched.Stalls)
+		acked := 0.0
+		if serial.DoneAcked && batched.DoneAcked {
+			acked = 1.0
+		}
+		tab.AddRow(k, serial.Writes, batched.Writes, batched.Msgs, batched.Dials, batched.Stalls,
+			batched.Misrouted, acked)
 		key := fmt.Sprint(k)
 		res.Metrics["serial.writes."+key] = float64(serial.Writes)
 		res.Metrics["batched.writes."+key] = float64(batched.Writes)
 		res.Metrics["batched.msgs."+key] = float64(batched.Msgs)
 		res.Metrics["stalls."+key] = float64(batched.Stalls)
+		res.Metrics["misrouted."+key] = float64(batched.Misrouted)
+		res.Metrics["done.acked."+key] = acked
 	}
 	res.Notes = append(res.Notes,
-		"two separate OS processes connected by the topology map over 127.0.0.1: the writer pipeline keeps the flush at O(1) wire writes per destination exactly as in-process E11, now across a dialed peer mesh")
+		"two separate OS processes connected by the topology map over 127.0.0.1: the writer pipeline keeps the flush at O(1) wire writes per destination exactly as in-process E11, now across a dialed peer mesh",
+		"the done signal is a two-way Call whose reply rides ahead of the home's goodbye: done acked = 1 means no in-flight reply was lost to the shutdown (the PR-3 one-way workaround is gone)")
 	return res
 }

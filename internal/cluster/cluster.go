@@ -36,6 +36,10 @@ type Config struct {
 	// multi-process mesh: it runs only the topology's self node and
 	// dials the other nodes at their topology addresses.
 	Topology *transport.Topology
+	// Reconnect, when non-nil, overrides the topology's
+	// reconnect-after-latch policy (mesh shape only). Nil keeps
+	// whatever the topology carries — by default the permanent latch.
+	Reconnect *transport.ReconnectPolicy
 }
 
 // Cluster is a running machine — or, in mesh shape, this process's
@@ -50,7 +54,11 @@ type Cluster struct {
 // process's node of one).
 func New(cfg Config) (*Cluster, error) {
 	if cfg.Topology != nil {
-		return newMeshNode(*cfg.Topology, cfg.Cost)
+		topo := *cfg.Topology
+		if cfg.Reconnect != nil {
+			topo.Reconnect = *cfg.Reconnect
+		}
+		return newMeshNode(topo, cfg.Cost)
 	}
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
@@ -110,8 +118,16 @@ func (c *Cluster) Kernel(n msg.NodeID) *vkernel.Kernel {
 // Stats returns the network traffic accounting.
 func (c *Cluster) Stats() *transport.Stats { return c.net.Stats() }
 
+// Network returns the underlying transport, for callers that need the
+// transport-specific surfaces (transport.Leaver, transport.PeerEpochs,
+// ...) the Network interface does not promise.
+func (c *Cluster) Network() transport.Network { return c.net }
+
 // Close shuts down the cluster (this process's node, in mesh shape)
-// and waits for all local dispatchers to exit.
+// and waits for all local dispatchers to exit. On the mesh transport
+// this is a graceful departure: the goodbye handshake drains
+// everything already sent, so peers mark this node departed
+// (*transport.ErrPeerGone) instead of latching it as dead.
 func (c *Cluster) Close() {
 	for _, k := range c.kernels {
 		if k != nil {
@@ -119,6 +135,28 @@ func (c *Cluster) Close() {
 		}
 	}
 	c.net.Close()
+	for _, k := range c.kernels {
+		if k != nil {
+			k.Wait()
+		}
+	}
+}
+
+// Kill tears this member down abruptly — no goodbye — so remote peers
+// observe wire death (*transport.ErrPeerDown) exactly as if the
+// process had crashed. Falls back to Close on transports without an
+// abrupt path. This is the chaos/test hook.
+func (c *Cluster) Kill() {
+	for _, k := range c.kernels {
+		if k != nil {
+			k.Close()
+		}
+	}
+	if killer, ok := c.net.(interface{ Kill() error }); ok {
+		killer.Kill()
+	} else {
+		c.net.Close()
+	}
 	for _, k := range c.kernels {
 		if k != nil {
 			k.Wait()

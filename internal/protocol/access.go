@@ -120,16 +120,25 @@ func (n *Node) FlushQueue(q *duq.Queue) {
 
 // TryFlushQueue is FlushQueue with an error return instead of a panic.
 // In-process runs never see an error outside shutdown, but on the
-// multi-process mesh a flush aimed at a peer whose wire has died fails
-// with *transport.ErrPeerDown (detect with errors.As) — promptly,
-// because vkernel fails the pending acknowledgment the moment the
-// transport latches the peer.
+// multi-process mesh a destination can become unreachable, and the
+// error distinguishes how (detect with errors.As):
+//
+//   - *transport.ErrPeerDown — the peer's wire DIED (crash, dial
+//     failure, broken stream). Updates aimed at it may be lost; with a
+//     reconnect policy the pair can come back on a fresh epoch, but
+//     nothing from this flush is replayed.
+//   - *transport.ErrPeerGone — the peer DEPARTED cleanly (goodbye
+//     handshake). Everything it sent before leaving was delivered;
+//     this flush simply has nowhere to go.
+//
+// Both surface promptly, because vkernel fails the pending
+// acknowledgment the moment the transport latches the peer.
 //
 // Every destination is attempted even when one fails, so healthy homes
 // still receive their batches. The drained entries are then committed
-// regardless: their diffs were consumed by the attempt, and a dead
-// peer's updates cannot be delivered later anyway (the latch is
-// permanent), so leaving them queued would only make a retry succeed
+// regardless: their diffs were consumed by the attempt, and a latched
+// peer cannot receive them later anyway (even a reconnect replays
+// nothing), so leaving them queued would only make a retry succeed
 // vacuously. The returned error is the loss report.
 func (n *Node) TryFlushQueue(q *duq.Queue) error {
 	if n.serialFlush.Load() {

@@ -56,9 +56,12 @@ func TestFlushSurfacesErrPeerDownOverMesh(t *testing.T) {
 	buf := make([]byte, 8)
 	writerNode.Read(q, id, 0, buf)
 
-	// Dirty the object, then kill the home "process" before the flush.
+	// Dirty the object, then kill the home "process" abruptly before
+	// the flush — no goodbye, so the writer observes wire death (a
+	// graceful Close would surface *transport.ErrPeerGone instead; see
+	// TestFlushSurfacesErrPeerGoneAfterHomeLeaves).
 	writerNode.Write(q, id, 0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
-	homeClu.Close()
+	homeClu.Kill()
 
 	start := time.Now()
 	err := writerNode.TryFlushQueue(q)
@@ -78,5 +81,68 @@ func TestFlushSurfacesErrPeerDownOverMesh(t *testing.T) {
 	}
 	if err := writerNode.TryFlushQueue(q); err != nil {
 		t.Fatalf("empty retry after reported loss = %v, want nil", err)
+	}
+}
+
+// TestFlushSurfacesErrPeerGoneAfterHomeLeaves pins the other half of
+// the failure vocabulary: a home that departs CLEANLY (graceful Close
+// → goodbye handshake) makes a later flush fail with the typed
+// *transport.ErrPeerGone — distinguishable from wire death, because
+// nothing was lost: the home drained everything it had sent before
+// leaving.
+func TestFlushSurfacesErrPeerGoneAfterHomeLeaves(t *testing.T) {
+	addrs := make([]string, 0, 2)
+	lns := make([]net.Listener, 0, 2)
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	build := func(self msg.NodeID) (*cluster.Cluster, *Node) {
+		topo := transport.Topology{Self: self, Peers: peers}
+		clu, err := cluster.New(cluster.Config{Topology: &topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := clu.Kernel(self)
+		return clu, NewNode(k, dlock.NewService(k))
+	}
+	homeClu, _ := build(0)
+	writerClu, writerNode := build(1)
+	defer writerClu.Close()
+
+	q := duq.New()
+	opts := DefaultOptions()
+	opts.Home = 0
+	id := memory.ObjectID(1)
+	writerNode.Alloc(Meta{ID: id, Name: "wm", Size: 64, Annot: WriteMany, Opts: opts}, nil)
+	buf := make([]byte, 8)
+	writerNode.Read(q, id, 0, buf)
+
+	writerNode.Write(q, id, 0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	homeClu.Close() // graceful: goodbye, drain, ack
+
+	start := time.Now()
+	err := writerNode.TryFlushQueue(q)
+	var pg *transport.ErrPeerGone
+	if !errors.As(err, &pg) || pg.Node != 0 {
+		t.Fatalf("TryFlushQueue after home departure = %v, want *transport.ErrPeerGone{Node: 0}", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("flush took %v to fail, want < 1s", elapsed)
+	}
+	// No peer-down latch anywhere: the departure was clean.
+	if got := writerClu.Stats().WirePeerDown(); got != 0 {
+		t.Fatalf("wire.peer_down = %d after a clean departure, want 0", got)
+	}
+	if got := writerClu.Stats().WirePeerGone(); got != 1 {
+		t.Fatalf("wire.peer_gone = %d, want 1", got)
 	}
 }

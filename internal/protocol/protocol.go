@@ -30,11 +30,13 @@
 // E10/E11/E12). SetSerialFlush selects the legacy one-object-per-round-
 // trip path, kept as the measured baseline and differential oracle.
 //
-// On the multi-process mesh a destination's wire can die mid-flush; the
-// failure surfaces out of TryFlushQueue (and the fault handlers' panics)
-// as a typed *transport.ErrPeerDown rather than a hang — vkernel fails
-// the pending acknowledgments the moment the transport latches the
-// peer.
+// On the multi-process mesh a destination can become unreachable
+// mid-flush; the failure surfaces out of TryFlushQueue (and the fault
+// handlers' panics) as a typed error rather than a hang —
+// *transport.ErrPeerDown when the peer's wire died,
+// *transport.ErrPeerGone when it departed cleanly via the goodbye
+// handshake — because vkernel fails the pending acknowledgments the
+// moment the transport latches the peer.
 package protocol
 
 import (

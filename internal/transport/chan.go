@@ -104,9 +104,9 @@ func (e *chanEndpoint) Send(m *msg.Msg) error {
 func (e *chanEndpoint) Flush() error { return nil }
 
 func (e *chanEndpoint) Recv() (*msg.Msg, error) {
-	buf, err := e.q.pop()
+	it, err := e.q.pop()
 	if err != nil {
 		return nil, err
 	}
-	return msg.Unmarshal(buf)
+	return msg.Unmarshal(it.buf)
 }

@@ -129,8 +129,10 @@ func TestMeshSimultaneousFirstSendsConverge(t *testing.T) {
 }
 
 // acceptWithHello accepts one connection on ln, validates the hello,
-// and acks it — a test stand-in for a remote mesh process.
-func acceptWithHello(t *testing.T, ln net.Listener, wantFrom msg.NodeID) net.Conn {
+// and acks it (agreeing to the proposed epoch) — a test stand-in for a
+// remote mesh process. It returns the connection and the epoch the
+// dialer proposed.
+func acceptWithHello(t *testing.T, ln net.Listener, wantFrom msg.NodeID) (net.Conn, uint64) {
 	t.Helper()
 	conn, err := ln.Accept()
 	if err != nil {
@@ -149,30 +151,42 @@ func acceptWithHello(t *testing.T, ln net.Listener, wantFrom msg.NodeID) net.Con
 	if from := msg.NodeID(binary.BigEndian.Uint32(hello[6:10])); from != wantFrom {
 		t.Fatalf("hello from node %d, want %d", from, wantFrom)
 	}
-	if _, err := conn.Write([]byte{helloAccept}); err != nil {
+	epoch := binary.BigEndian.Uint64(hello[10:18])
+	ack := make([]byte, 0, helloAcceptLen)
+	ack = append(ack, helloAccept)
+	ack = binary.BigEndian.AppendUint64(ack, epoch)
+	if _, err := conn.Write(ack); err != nil {
 		t.Fatal(err)
 	}
-	return conn
+	return conn, epoch
 }
 
 // dialWithHello dials a mesh listener pretending to be the given node
-// and returns the connection plus the acceptor's verdict byte.
-func dialWithHello(t *testing.T, addr string, as msg.NodeID) (net.Conn, byte) {
+// proposing the given epoch, and returns the connection, the acceptor's
+// verdict byte, and (on accept) the agreed epoch.
+func dialWithHello(t *testing.T, addr string, as msg.NodeID, epoch uint64) (net.Conn, byte, uint64) {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Write(encodeHello(as)); err != nil {
+	if _, err := conn.Write(encodeHello(as, epoch)); err != nil {
 		t.Fatal(err)
 	}
-	var ack [1]byte
+	var ack [helloAcceptLen]byte
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+	if _, err := io.ReadFull(conn, ack[:1]); err != nil {
 		t.Fatalf("reading handshake verdict: %v", err)
 	}
+	agreed := uint64(0)
+	if ack[0] == helloAccept {
+		if _, err := io.ReadFull(conn, ack[1:]); err != nil {
+			t.Fatalf("reading agreed epoch: %v", err)
+		}
+		agreed = binary.BigEndian.Uint64(ack[1:])
+	}
 	conn.SetReadDeadline(time.Time{})
-	return conn, ack[0]
+	return conn, ack[0], agreed
 }
 
 // readWireMsg reads one frame off a raw connection and returns its
@@ -219,14 +233,14 @@ func TestMeshTiebreakRejectsHigherDialer(t *testing.T) {
 	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
 		t.Fatal(err)
 	}
-	orig := acceptWithHello(t, fake, 0)
+	orig, _ := acceptWithHello(t, fake, 0)
 	defer orig.Close()
 	if got := readWireMsg(t, orig); string(got.Payload) != "one" {
 		t.Fatalf("got %v", got)
 	}
 
 	// Duplicate: "node 1" dials back. Dialer ID 1 > 0 loses.
-	dup, verdict := dialWithHello(t, m.Addr(), 1)
+	dup, verdict, _ := dialWithHello(t, m.Addr(), 1, 1)
 	defer dup.Close()
 	if verdict != helloReject {
 		t.Fatalf("duplicate from higher dialer got verdict %d, want reject", verdict)
@@ -265,14 +279,14 @@ func TestMeshTiebreakLowerDialerReplaces(t *testing.T) {
 	if err := m.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("one")}); err != nil {
 		t.Fatal(err)
 	}
-	orig := acceptWithHello(t, fake, 1)
+	orig, _ := acceptWithHello(t, fake, 1)
 	defer orig.Close()
 	if got := readWireMsg(t, orig); string(got.Payload) != "one" {
 		t.Fatalf("got %v", got)
 	}
 
 	// Duplicate: "node 0" dials in. Dialer ID 0 < 1 wins.
-	winner, verdict := dialWithHello(t, m.Addr(), 0)
+	winner, verdict, _ := dialWithHello(t, m.Addr(), 0, 1)
 	defer winner.Close()
 	if verdict != helloAccept {
 		t.Fatalf("duplicate from lower dialer got verdict %d, want accept", verdict)
@@ -307,7 +321,7 @@ func TestMeshDialFailureLatchesErrPeerDown(t *testing.T) {
 	defer m.Close()
 
 	downCh := make(chan msg.NodeID, 1)
-	m.OnPeerDown(func(peer msg.NodeID, err error) { downCh <- peer })
+	m.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
 
 	if err := m.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0}); err != nil {
 		t.Fatalf("async send should enqueue: %v", err)
@@ -350,10 +364,11 @@ func TestMeshConnectionDeathLatchesErrPeerDown(t *testing.T) {
 	}
 
 	downCh := make(chan error, 1)
-	b.OnPeerDown(func(peer msg.NodeID, err error) { downCh <- err })
-	// "Kill" node 0: its shutdown closes the pair's connection while B
+	b.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- err })
+	// Kill node 0 abruptly (no goodbye — a graceful Close would mark
+	// the peer departed instead): the pair's connection dies while B
 	// stays up, so B's reader must latch peer 0 down.
-	a.Close()
+	a.Kill()
 	select {
 	case err := <-downCh:
 		var pd *ErrPeerDown
@@ -420,7 +435,7 @@ func TestMeshRejectsBadHello(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := encodeHello(1)
+	bad := encodeHello(1, 1)
 	binary.BigEndian.PutUint16(bad[4:6], meshProtoVersion+1)
 	conn.Write(bad)
 	expectClosed(conn, "bad version")
@@ -430,7 +445,7 @@ func TestMeshRejectsBadHello(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn.Write(encodeHello(7))
+	conn.Write(encodeHello(7, 1))
 	expectClosed(conn, "unknown node")
 
 	// A node cannot claim to be us.
@@ -438,7 +453,7 @@ func TestMeshRejectsBadHello(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn.Write(encodeHello(0))
+	conn.Write(encodeHello(0, 1))
 	expectClosed(conn, "self hello")
 }
 
@@ -461,7 +476,7 @@ func TestMeshFlushFencesHealthyPeersDespiteDeadOne(t *testing.T) {
 	// Node 2 never starts.
 
 	downCh := make(chan msg.NodeID, 1)
-	b.OnPeerDown(func(peer msg.NodeID, err error) { downCh <- peer })
+	b.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
 	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -491,6 +506,548 @@ func TestMeshFlushFencesHealthyPeersDespiteDeadOne(t *testing.T) {
 	var pd *ErrPeerDown
 	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 2}); !errors.As(err, &pd) || pd.Node != 2 {
 		t.Fatalf("send to latched peer = %v, want *ErrPeerDown{Node: 2}", err)
+	}
+}
+
+// TestMeshGoodbyeMarksPeerDepartedNotDown pins the graceful half of
+// the failure vocabulary: a peer that Closes cleanly says goodbye,
+// drains, and is marked DEPARTED — its in-flight frames are all
+// delivered (observed strictly before the gone notification), no
+// peer-down latch fires anywhere, and only new sends fail, with the
+// typed *ErrPeerGone.
+func TestMeshGoodbyeMarksPeerDepartedNotDown(t *testing.T) {
+	a, b := newMeshPair(t)
+	goneCh := make(chan msg.NodeID, 1)
+	b.OnPeerGone(func(peer msg.NodeID, err error) { goneCh <- peer })
+	downCh := make(chan msg.NodeID, 1)
+	b.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
+
+	// Establish the pair first (the race shape is an established
+	// connection with a frame in flight at close time).
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := a.Endpoint(0).Recv(); err != nil || string(m.Payload) != "hello" {
+		t.Fatalf("establish: %v, %v", m, err)
+	}
+	// The reply-vs-EOF race shape: a message is still in flight when
+	// the sender closes. The goodbye drain must deliver it.
+	if err := a.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("last")}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close() // graceful: drains "last", goodbye, waits for B's ack
+
+	m, err := b.Endpoint(1).Recv()
+	if err != nil || string(m.Payload) != "last" {
+		t.Fatalf("in-flight frame lost to the departure: %v, %v", m, err)
+	}
+	// The departure marker sits behind the last frame; the next Recv
+	// consumes it and fires the gone callbacks.
+	go b.Endpoint(1).Recv()
+	select {
+	case peer := <-goneCh:
+		if peer != 0 {
+			t.Fatalf("OnPeerGone fired for node %d, want 0", peer)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnPeerGone never fired after the goodbye")
+	}
+	var pg *ErrPeerGone
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0}); !errors.As(err, &pg) || pg.Node != 0 {
+		t.Fatalf("send to departed peer = %v, want *ErrPeerGone{Node: 0}", err)
+	}
+	if got := b.Stats().WirePeerDown(); got != 0 {
+		t.Fatalf("wire.peer_down = %d after a clean goodbye, want 0", got)
+	}
+	if got := b.Stats().WirePeerGone(); got != 1 {
+		t.Fatalf("wire.peer_gone = %d, want 1", got)
+	}
+	select {
+	case peer := <-downCh:
+		t.Fatalf("OnPeerDown fired for node %d on a clean goodbye", peer)
+	default:
+	}
+}
+
+// TestMeshLeaveAnnouncesDeparture: Endpoint.Leave is the goodbye
+// handshake without the teardown — peers mark this node departed, and
+// this node's own endpoint refuses new sends with ErrClosed.
+func TestMeshLeaveAnnouncesDeparture(t *testing.T) {
+	a, b := newMeshPair(t)
+	if err := a.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b.Endpoint(1).Recv(); err != nil || string(m.Payload) != "hi" {
+		t.Fatalf("got %v, %v", m, err)
+	}
+
+	lv, ok := a.Endpoint(0).(Leaver)
+	if !ok {
+		t.Fatal("mesh endpoint does not implement Leaver")
+	}
+	if err := lv.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	// Leave returns only after the peers acked the drain, so B's
+	// departed latch is already visible.
+	var pg *ErrPeerGone
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0}); !errors.As(err, &pg) {
+		t.Fatalf("send to left peer = %v, want *ErrPeerGone", err)
+	}
+	if err := a.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after own Leave = %v, want ErrClosed", err)
+	}
+	if got := b.Stats().WirePeerDown(); got != 0 {
+		t.Fatalf("wire.peer_down = %d after Leave, want 0", got)
+	}
+}
+
+// TestMeshStaleEpochHelloRejected pins the epoch half of the
+// handshake: a live pair at epoch E rejects a hello proposing an older
+// generation (a stale dial left over from a replaced stream), and
+// accepts one proposing a NEWER generation — replacing the current
+// connection, exactly the newer-wins rule a reconnecting peer relies
+// on.
+func TestMeshStaleEpochHelloRejected(t *testing.T) {
+	fake, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+	selfAddr := reserveAddrs(t, 1)[0]
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: selfAddr, 1: fake.Addr().String()},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Establish at epoch 1 (first dial proposes 0+1).
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	orig, epoch := acceptWithHello(t, fake, 0)
+	defer orig.Close()
+	if epoch != 1 {
+		t.Fatalf("first dial proposed epoch %d, want 1", epoch)
+	}
+	if got := readWireMsg(t, orig); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+	if got := m.PeerEpoch(1); got != 1 {
+		t.Fatalf("PeerEpoch = %d, want 1", got)
+	}
+
+	// A stale generation (epoch 0 < current 1) must be rejected.
+	stale, verdict, _ := dialWithHello(t, m.Addr(), 1, 0)
+	defer stale.Close()
+	if verdict != helloReject {
+		t.Fatalf("stale-epoch hello got verdict %d, want reject", verdict)
+	}
+
+	// A newer generation (epoch 2 > current 1) wins and replaces.
+	fresh, verdict, agreed := dialWithHello(t, m.Addr(), 1, 2)
+	defer fresh.Close()
+	if verdict != helloAccept || agreed != 2 {
+		t.Fatalf("newer-epoch hello got verdict %d agreed %d, want accept at 2", verdict, agreed)
+	}
+	if got := m.PeerEpoch(1); got != 2 {
+		t.Fatalf("PeerEpoch after replacement = %d, want 2", got)
+	}
+	// The old stream is closed by the mesh; new traffic rides the
+	// replacement.
+	orig.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := orig.Read(make([]byte, 1)); err == nil {
+		t.Fatal("old connection still open after an accepted newer epoch")
+	}
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("two")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readWireMsg(t, fresh); string(got.Payload) != "two" {
+		t.Fatalf("after replacement, got %v", got)
+	}
+}
+
+// TestMeshReconnectRedialsAndClearsLatch: with the policy enabled, a
+// latched peer is an outage, not a death sentence — the mesh re-dials
+// in the background, the handshake agrees on the next epoch, the latch
+// clears, and new sends flow. During the outage sends still fail fast
+// with *ErrPeerDown, and nothing is replayed.
+func TestMeshReconnectRedialsAndClearsLatch(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	fake, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+	m, err := NewMeshNetwork(Topology{
+		Self:      0,
+		Peers:     map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+		Reconnect: ReconnectPolicy{Enabled: true, Backoff: 100 * time.Millisecond},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	conn1, epoch1 := acceptWithHello(t, fake, 0)
+	if epoch1 != 1 {
+		t.Fatalf("first epoch %d, want 1", epoch1)
+	}
+	if got := readWireMsg(t, conn1); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+
+	downCh := make(chan msg.NodeID, 1)
+	m.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
+	conn1.Close() // abrupt: wire death, not goodbye
+	select {
+	case <-downCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never latched down")
+	}
+	// During the outage, sends fail fast and typed.
+	var pd *ErrPeerDown
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 0x1}); !errors.As(err, &pd) {
+		t.Fatalf("send during outage = %v, want *ErrPeerDown", err)
+	}
+
+	// The peer "recovers": accept the background re-dial, which must
+	// propose the next generation.
+	conn2, epoch2 := acceptWithHello(t, fake, 0)
+	defer conn2.Close()
+	if epoch2 != 2 {
+		t.Fatalf("re-dial proposed epoch %d, want 2", epoch2)
+	}
+	// The latch clears once the handshake completes; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("two")})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("send never recovered after re-dial: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := readWireMsg(t, conn2); string(got.Payload) != "two" {
+		t.Fatalf("after reconnect, got %v", got)
+	}
+	if got := m.Stats().WireReconnects(); got != 1 {
+		t.Fatalf("wire.reconnects = %d, want 1", got)
+	}
+	if got := m.PeerEpoch(1); got != 2 {
+		t.Fatalf("PeerEpoch after reconnect = %d, want 2", got)
+	}
+}
+
+// TestMeshRejoinAcceptedWithPolicy: the other reconnect path — a
+// restarted peer process dials IN after this side latched it down. The
+// policy accepts the rejoin, bumps the epoch past the dead generation
+// (the restarted process proposes from scratch), and clears the latch.
+func TestMeshRejoinAcceptedWithPolicy(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	fake, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+		// MaxAttempts 1: after one failed background re-dial the loop
+		// stops, so the inbound rejoin below is the only path back.
+		Reconnect: ReconnectPolicy{Enabled: true, MaxAttempts: 1, Backoff: 10 * time.Millisecond},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	conn1, _ := acceptWithHello(t, fake, 0)
+	if got := readWireMsg(t, conn1); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+	downCh := make(chan msg.NodeID, 1)
+	m.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
+	// The peer "crashes": its listener disappears and the connection
+	// dies, so the background re-dial cannot succeed.
+	fake.Close()
+	conn1.Close()
+	select {
+	case <-downCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never latched down")
+	}
+
+	// The restarted process dials in, proposing epoch 1 from scratch
+	// (it has no memory of the pair). Retry while the one background
+	// re-dial might still hold the dialing flag.
+	var conn2 net.Conn
+	var verdict byte
+	var agreed uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn2, verdict, agreed = dialWithHello(t, m.Addr(), 1, 1)
+		if verdict == helloAccept {
+			break
+		}
+		conn2.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("rejoin dial never accepted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn2.Close()
+	if agreed != 2 {
+		t.Fatalf("rejoin agreed epoch %d, want 2 (past the dead generation)", agreed)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("two")})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("send never recovered after rejoin: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := readWireMsg(t, conn2); string(got.Payload) != "two" {
+		t.Fatalf("after rejoin, got %v", got)
+	}
+	if got := m.Stats().WireReconnects(); got != 1 {
+		t.Fatalf("wire.reconnects = %d, want 1", got)
+	}
+}
+
+// TestMeshNoReconnectWithoutPolicy preserves the original contract:
+// with the policy off (the default), a latch is permanent — no
+// background re-dial ever happens, an inbound rejoin is rejected, and
+// sends keep failing typed for the life of the mesh.
+func TestMeshNoReconnectWithoutPolicy(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	fake, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fake.Close()
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	conn1, _ := acceptWithHello(t, fake, 0)
+	if got := readWireMsg(t, conn1); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+	downCh := make(chan msg.NodeID, 1)
+	m.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
+	conn1.Close()
+	select {
+	case <-downCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never latched down")
+	}
+
+	// No background re-dial arrives within a generous window.
+	fake.(*net.TCPListener).SetDeadline(time.Now().Add(500 * time.Millisecond))
+	if conn, err := fake.Accept(); err == nil {
+		conn.Close()
+		t.Fatal("mesh re-dialed a latched peer without a reconnect policy")
+	}
+	// An inbound rejoin is rejected.
+	conn2, verdict, _ := dialWithHello(t, m.Addr(), 1, 1)
+	conn2.Close()
+	if verdict != helloReject {
+		t.Fatalf("rejoin without policy got verdict %d, want reject", verdict)
+	}
+	// And the latch is still in force.
+	var pd *ErrPeerDown
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1}); !errors.As(err, &pd) {
+		t.Fatalf("send after latch = %v, want *ErrPeerDown", err)
+	}
+	if got := m.Stats().WireReconnects(); got != 0 {
+		t.Fatalf("wire.reconnects = %d without a policy, want 0", got)
+	}
+}
+
+// TestMeshMisroutedFramesCounted: an inbound frame whose destination
+// header names another node is dropped but counted, so topology
+// misconfigurations are visible in the counter dump.
+func TestMeshMisroutedFramesCounted(t *testing.T) {
+	a, b := newMeshPair(t)
+	// Establish the pair.
+	if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Endpoint(0).Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a frame addressed to a node that is not A, and push
+	// it down B's established connection by sending a legitimate
+	// message whose To header was tampered... simplest: dial A
+	// directly as node 1 with a fresh (newer) epoch and write a
+	// misrouted frame on the accepted connection.
+	conn, verdict, _ := dialWithHello(t, a.Addr(), 1, 99)
+	defer conn.Close()
+	if verdict != helloAccept {
+		t.Fatalf("handshake verdict %d, want accept", verdict)
+	}
+	writeFrame := func(m *msg.Msg) {
+		t.Helper()
+		frame := msg.EncodeFrame([][]byte{m.Marshal()})
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+		if _, err := conn.Write(append(hdr[:], frame...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFrame(&msg.Msg{Kind: msg.KindPing, From: 1, To: 7, Payload: []byte("lost")})
+	// And a well-routed one behind it, so we can sync on delivery.
+	writeFrame(&msg.Msg{Kind: msg.KindPing, From: 1, To: 0, Payload: []byte("ok")})
+	if m, err := a.Endpoint(0).Recv(); err != nil || string(m.Payload) != "ok" {
+		t.Fatalf("got %v, %v", m, err)
+	}
+	if got := a.Stats().WireMisrouted(); got != 1 {
+		t.Fatalf("wire.misrouted = %d, want 1", got)
+	}
+	_ = b
+}
+
+// TestMeshOwnerRedialFromScratchAccepted: a peer that restarted
+// WITHOUT this side ever observing its death (half-open pair, no RST)
+// proposes an epoch below the current generation. Because it is the
+// node that dialed the current connection, the hello is an owner
+// re-dial, not a stale leftover: it must be accepted, with the agreed
+// epoch advanced past the current generation — rejecting it would lock
+// the restarted peer out until this side happened to write.
+func TestMeshOwnerRedialFromScratchAccepted(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// "Node 1" dials in at epoch 2 (as if one reconnect already
+	// happened) — the current connection's dialer is node 1.
+	orig, verdict, agreed := dialWithHello(t, m.Addr(), 1, 2)
+	defer orig.Close()
+	if verdict != helloAccept || agreed != 2 {
+		t.Fatalf("establish: verdict %d agreed %d, want accept at 2", verdict, agreed)
+	}
+	// Node 1 "restarts" and dials again proposing epoch 1 from
+	// scratch, while this side still believes the old stream is live.
+	fresh, verdict, agreed := dialWithHello(t, m.Addr(), 1, 1)
+	defer fresh.Close()
+	if verdict != helloAccept {
+		t.Fatalf("owner re-dial from scratch got verdict %d, want accept", verdict)
+	}
+	if agreed != 3 {
+		t.Fatalf("owner re-dial agreed epoch %d, want 3 (past the replaced generation)", agreed)
+	}
+	if got := m.PeerEpoch(1); got != 3 {
+		t.Fatalf("PeerEpoch = %d, want 3", got)
+	}
+	// Traffic rides the replacement.
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readWireMsg(t, fresh); string(got.Payload) != "hi" {
+		t.Fatalf("after owner re-dial, got %v", got)
+	}
+}
+
+// TestMeshGoodbyeRejoinGoodbyeCycle runs a full departure → rejoin →
+// departure cycle between two real meshes with the policy on: the
+// second incarnation's goodbye must behave exactly like the first
+// (fresh departure marker, re-armed ack wait, second wire.peer_gone),
+// proving the per-pair goodbye state re-arms on reconnect.
+func TestMeshGoodbyeRejoinGoodbyeCycle(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	policy := ReconnectPolicy{Enabled: true, Backoff: 20 * time.Millisecond}
+	a, err := NewMeshNetwork(Topology{Self: 0, Peers: peers, Reconnect: policy}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	goneCh := make(chan msg.NodeID, 2)
+	a.OnPeerGone(func(peer msg.NodeID, err error) { goneCh <- peer })
+	recvCh := make(chan string, 4)
+	go func() { // drive A's receive path so departure markers are consumed
+		for {
+			m, err := a.Endpoint(0).Recv()
+			if err != nil {
+				return
+			}
+			recvCh <- string(m.Payload)
+		}
+	}()
+
+	runIncarnation := func(payload string) {
+		t.Helper()
+		b, err := NewMeshNetwork(Topology{Self: 1, Peers: peers, Reconnect: policy}, CostModel{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Endpoint(1).Send(&msg.Msg{Kind: msg.KindPing, To: 0, Payload: []byte(payload)}); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for delivery: the goodbye drain covers established
+		// pairs, so the pair must be established before Close.
+		select {
+		case got := <-recvCh:
+			if got != payload {
+				t.Fatalf("got %q, want %q", got, payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("incarnation %q: frame never delivered", payload)
+		}
+		start := time.Now()
+		b.Close() // graceful goodbye; must complete promptly via the real ack
+		if elapsed := time.Since(start); elapsed >= meshCloseDrain {
+			t.Fatalf("incarnation %q: Close took %v, ack wait not satisfied", payload, elapsed)
+		}
+		select {
+		case peer := <-goneCh:
+			if peer != 1 {
+				t.Fatalf("OnPeerGone fired for node %d, want 1", peer)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("incarnation %q: departure never surfaced", payload)
+		}
+	}
+
+	runIncarnation("first life")
+	runIncarnation("second life") // rejoin-after-gone, then depart again
+	if got := a.Stats().WirePeerGone(); got != 2 {
+		t.Fatalf("wire.peer_gone = %d after two departures, want 2", got)
+	}
+	if got := a.Stats().WirePeerDown(); got != 0 {
+		t.Fatalf("wire.peer_down = %d across clean departures, want 0", got)
+	}
+	if got := a.Stats().WireReconnects(); got != 1 {
+		t.Fatalf("wire.reconnects = %d, want 1 (the second incarnation's rejoin)", got)
 	}
 }
 

@@ -17,6 +17,11 @@ import (
 // count against the bound.
 const sendQueueDepth = 1024
 
+// maxFrameLen bounds a frame envelope's outer length word. Length
+// words above it are control words (the mesh goodbye vocabulary), so
+// the two spaces can never collide on the wire.
+const maxFrameLen = 1 << 30
+
 // TCPNetwork runs the same message abstraction over real loopback
 // sockets. Every node pair has a dedicated TCP connection owned by a
 // writer goroutine: senders enqueue marshalled messages on a bounded
@@ -105,7 +110,7 @@ func (tn *TCPNetwork) serveConn(conn net.Conn) {
 		if tn.eps[m.To].q.push(entry) == nil {
 			tn.stats.delivered(m.To)
 		}
-	})
+	}, nil)
 }
 
 // readFrameStream is the inbound wire path shared by the loopback
@@ -113,14 +118,23 @@ func (tn *TCPNetwork) serveConn(conn net.Conn) {
 // and invokes deliver for every contained message until the stream ends
 // or a frame fails to decode. entry is the still-marshalled message
 // (aliasing the frame buffer); m is its decoded header.
-func readFrameStream(r *bufio.Reader, deliver func(entry []byte, m *msg.Msg)) {
+//
+// Length words above maxFrameLen are control words, not frames: when
+// ctrl is non-nil it is invoked with the word and decides whether the
+// stream continues (the mesh's goodbye vocabulary rides here); when
+// ctrl is nil any such word kills the stream, exactly the pre-control
+// behavior the loopback harness keeps.
+func readFrameStream(r *bufio.Reader, deliver func(entry []byte, m *msg.Msg), ctrl func(word uint32) bool) {
 	var lenbuf [4]byte
 	for {
 		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenbuf[:])
-		if n > 1<<30 {
+		if n > maxFrameLen {
+			if ctrl != nil && ctrl(n) {
+				continue
+			}
 			return
 		}
 		frame := make([]byte, n)
@@ -273,11 +287,11 @@ func (e *tcpEndpoint) Flush() error {
 }
 
 func (e *tcpEndpoint) Recv() (*msg.Msg, error) {
-	buf, err := e.q.pop()
+	it, err := e.q.pop()
 	if err != nil {
 		return nil, err
 	}
-	return msg.Unmarshal(buf)
+	return msg.Unmarshal(it.buf)
 }
 
 // writeLoop is one peer connection's writer: it drains whatever is
@@ -332,22 +346,38 @@ func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
 // writeItems is the outbound wire path shared by the loopback harness
 // and the mesh: it lays the batch's messages out as frame envelopes —
 // split only by the msg.MaxFrameMessages cap — and issues them to the
-// connection as a single vectored write. It returns the number of
-// frames emitted and the traffic classes of messages that shared a
-// frame with at least one other (for coalescing accounting); frames is
-// 0 when items held only fences.
+// connection as a single vectored write. Control words ride at the end
+// of the same write (a drained batch never holds data queued after a
+// goodbye: the queue closes right behind it, and a goodbye-ack's order
+// against data is immaterial). It returns the number of frames emitted
+// and the traffic classes of messages that shared a frame with at
+// least one other (for coalescing accounting); frames is 0 when items
+// held only fences or control words.
 func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, err error) {
 	var (
 		bufs net.Buffers
 		hdr  []byte // backing storage for frame headers and prefixes
 	)
-	count := 0
+	count, ctrls := 0, 0
 	for _, it := range items {
 		if it.enc != nil {
 			count++
+		} else if it.ctrl != 0 {
+			ctrls++
 		}
 	}
+	if count == 0 && ctrls == 0 {
+		return 0, nil, nil
+	}
 	if count == 0 {
+		for _, it := range items {
+			if it.ctrl != 0 {
+				hdr = binary.BigEndian.AppendUint32(hdr, it.ctrl)
+			}
+		}
+		if _, werr := conn.Write(hdr); werr != nil {
+			return 0, nil, werr
+		}
 		return 0, nil, nil
 	}
 
@@ -357,7 +387,7 @@ func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, e
 	// referenced in place, so the whole batch goes out without copying
 	// payloads.
 	frames = (count + msg.MaxFrameMessages - 1) / msg.MaxFrameMessages
-	hdr = make([]byte, 0, 8*frames+5*count)
+	hdr = make([]byte, 0, 8*frames+5*count+4*ctrls)
 	i := 0
 	for f := 0; f < frames; f++ {
 		k := count - f*msg.MaxFrameMessages
@@ -392,6 +422,16 @@ func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, e
 		}
 	}
 
+	if ctrls > 0 {
+		mark := len(hdr)
+		for _, it := range items {
+			if it.ctrl != 0 {
+				hdr = binary.BigEndian.AppendUint32(hdr, it.ctrl)
+			}
+		}
+		bufs = append(bufs, hdr[mark:])
+	}
+
 	if _, err := bufs.WriteTo(conn); err != nil {
 		return 0, nil, err
 	}
@@ -413,12 +453,15 @@ func uvarintLen(n int) int {
 	return l
 }
 
-// sendItem is one unit in a peer's send queue: a marshalled message,
-// or a fence awaiting write completion of everything queued before it.
+// sendItem is one unit in a peer's send queue: a marshalled message, a
+// fence awaiting write completion of everything queued before it, or a
+// control word (the mesh goodbye vocabulary) emitted verbatim as a
+// 4-byte length word outside the frame space.
 type sendItem struct {
-	enc   []byte // marshalled message; nil for a fence
+	enc   []byte // marshalled message; nil for a fence or control word
 	class string // traffic class, for coalescing accounting
 	fence chan error
+	ctrl  uint32 // control word (> maxFrameLen); 0 for messages/fences
 }
 
 // sendQueue is the bounded MPSC queue feeding one peer connection's
@@ -432,6 +475,7 @@ type sendQueue struct {
 	limit    int
 	closed   bool
 	failed   error       // latched first write error; the peer is dead
+	rejected error       // soft latch: new puts fail, queued items still drain (peer departed)
 	held     bool        // test hook: writer pauses so tests can stage a batch
 	onStall  func(int64) // backpressure accounting: ns a put spent blocked
 }
@@ -452,9 +496,9 @@ func newSendQueue(limit int, onStall func(int64)) *sendQueue {
 func (q *sendQueue) put(it sendItem) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil {
+	if it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil && q.rejected == nil {
 		start := time.Now()
-		for it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil {
+		for it.enc != nil && q.queued >= q.limit && !q.closed && q.failed == nil && q.rejected == nil {
 			q.notFull.Wait()
 		}
 		if q.onStall != nil {
@@ -466,6 +510,11 @@ func (q *sendQueue) put(it sendItem) error {
 	}
 	if q.failed != nil {
 		return q.failed
+	}
+	if q.rejected != nil && it.ctrl == 0 {
+		// Control words bypass the soft latch: the goodbye-ack must
+		// still drain to a peer whose departure set the latch.
+		return q.rejected
 	}
 	q.items = append(q.items, it)
 	if it.enc != nil {
@@ -509,6 +558,31 @@ func (q *sendQueue) fail(err error) {
 		q.failed = err
 	}
 	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// reject soft-latches the queue: new puts fail with err, but items
+// already queued (and the writer draining them) are unaffected — a
+// departed peer still reads until its goodbye is acknowledged, so
+// residual traffic may drain to it even though new sends must not
+// start.
+func (q *sendQueue) reject(err error) {
+	q.mu.Lock()
+	if q.rejected == nil {
+		q.rejected = err
+	}
+	q.notFull.Broadcast()
+	q.mu.Unlock()
+}
+
+// clearFail lifts both latches after a successful reconnect: the pair
+// has a fresh connection generation, so new sends may flow again.
+// Nothing queued before the latch survives to be replayed — senders
+// already observed their failures.
+func (q *sendQueue) clearFail() {
+	q.mu.Lock()
+	q.failed = nil
+	q.rejected = nil
 	q.mu.Unlock()
 }
 

@@ -7,9 +7,35 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"munin/internal/msg"
 )
+
+// ReconnectPolicy controls whether a MeshNetwork tries to revive a
+// peer after its wire latched as failed. The zero value — disabled —
+// preserves the original lifecycle: ErrPeerDown is permanent for the
+// life of the network.
+//
+// With Enabled set, a latch is an outage instead of a death sentence:
+// the mesh re-dials the peer in the background (Backoff between
+// attempts, doubling up to one second, at most MaxAttempts tries) and
+// also accepts a rejoin dial FROM the latched peer — the path a
+// restarted process takes, since it holds no memory of the old pair.
+// Either way the latch clears, the pair agrees on a fresh connection
+// epoch in the hello handshake, and nothing is replayed: every send
+// and call that failed during the outage already reported its error.
+type ReconnectPolicy struct {
+	// Enabled turns reconnect-after-latch on.
+	Enabled bool `json:"enabled"`
+	// MaxAttempts bounds this side's background re-dial attempts per
+	// outage; 0 means unlimited (until the mesh closes or the peer
+	// rejoins inbound).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// Backoff is the initial delay before the first re-dial attempt,
+	// doubling per attempt up to one second. 0 means the 50ms default.
+	Backoff time.Duration `json:"backoff,omitempty"`
+}
 
 // Topology describes a multi-process cluster to a MeshNetwork: which
 // node this process is, and where every node (including itself) can be
@@ -22,12 +48,16 @@ type Topology struct {
 	// Peers maps every node ID to its listen address (host:port).
 	// Self's entry is the address this process binds.
 	Peers map[msg.NodeID]string `json:"-"`
+	// Reconnect is the opt-in reconnect-after-latch policy. The zero
+	// value keeps ErrPeerDown permanent.
+	Reconnect ReconnectPolicy `json:"reconnect"`
 }
 
 // topologyJSON is the on-disk form: {"self": 0, "peers": {"0": "127.0.0.1:7000", ...}}.
 type topologyJSON struct {
-	Self  msg.NodeID        `json:"self"`
-	Peers map[string]string `json:"peers"`
+	Self      msg.NodeID        `json:"self"`
+	Peers     map[string]string `json:"peers"`
+	Reconnect ReconnectPolicy   `json:"reconnect"`
 }
 
 // Nodes returns the cluster size.
@@ -75,7 +105,7 @@ func (t *Topology) peerIDs() string {
 
 // MarshalJSON implements json.Marshaler using the string-keyed form.
 func (t Topology) MarshalJSON() ([]byte, error) {
-	out := topologyJSON{Self: t.Self, Peers: make(map[string]string, len(t.Peers))}
+	out := topologyJSON{Self: t.Self, Reconnect: t.Reconnect, Peers: make(map[string]string, len(t.Peers))}
 	for id, addr := range t.Peers {
 		out.Peers[strconv.Itoa(int(id))] = addr
 	}
@@ -89,6 +119,7 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("transport: topology: %w", err)
 	}
 	t.Self = raw.Self
+	t.Reconnect = raw.Reconnect
 	t.Peers = make(map[msg.NodeID]string, len(raw.Peers))
 	for k, addr := range raw.Peers {
 		id, err := strconv.Atoi(k)

@@ -15,12 +15,17 @@
 //     layer works over an actual network stack and to measure it at
 //     syscall granularity.
 //   - MeshNetwork: one node per OS process, connected by a Topology
-//     (node ID → host:port). Lazy per-peer dialing with a versioned
-//     hello handshake, one bidirectional connection per pair
-//     (duplicate dials tie-broken deterministically by lower dialer
-//     ID), and real failure semantics: a dead peer latches ErrPeerDown
-//     into sends, fences, and — via PeerDownNotifier — vkernel's
-//     pending-call table.
+//     (node ID → host:port). Lazy per-peer dialing with a versioned,
+//     epoch-carrying hello handshake, one bidirectional connection per
+//     pair (duplicate dials tie-broken deterministically by lower
+//     dialer ID; stale-epoch dials rejected), and real failure
+//     semantics with a two-sided vocabulary: a dead peer latches
+//     ErrPeerDown into sends, fences, and — via PeerDownNotifier —
+//     vkernel's pending-call table, while a peer that leaves cleanly
+//     (goodbye handshake; Close/Leave) is marked departed
+//     (ErrPeerGone, PeerGoneNotifier) with every in-flight frame
+//     delivered first. An opt-in ReconnectPolicy revives latched pairs
+//     on a fresh epoch.
 //
 // # The writer pipeline
 //
@@ -96,15 +101,70 @@ func (e *ErrPeerDown) Error() string {
 
 func (e *ErrPeerDown) Unwrap() error { return e.Cause }
 
+// ErrPeerGone reports that a peer left the computation deliberately: it
+// announced departure with a goodbye frame, drained everything it had
+// already sent, and closed. Unlike *ErrPeerDown nothing was lost — every
+// frame the peer put on the wire before the goodbye was delivered — but
+// the peer will accept no new traffic, so later Sends and calls aimed
+// at it fail with this error. Detect it with errors.As.
+type ErrPeerGone struct {
+	// Node is the peer that departed.
+	Node msg.NodeID
+}
+
+func (e *ErrPeerGone) Error() string {
+	return fmt.Sprintf("transport: peer %d departed", e.Node)
+}
+
 // PeerDownNotifier is implemented by transports that detect peer death
 // (MeshNetwork). vkernel registers a callback at construction so a
 // latched wire failure fails exactly the pending calls aimed at the
 // dead peer.
 type PeerDownNotifier interface {
-	// OnPeerDown registers fn to be invoked (once per peer) when a
-	// peer's wire is latched as failed. fn runs on a transport
+	// OnPeerDown registers fn to be invoked (once per outage) when a
+	// peer's wire is latched as failed. epoch identifies the connection
+	// generation that died (see PeerEpochs) so subscribers can ignore a
+	// stale notification that races a reconnect. fn runs on a transport
 	// goroutine and must not block.
-	OnPeerDown(fn func(peer msg.NodeID, err error))
+	OnPeerDown(fn func(peer msg.NodeID, epoch uint64, err error))
+}
+
+// PeerGoneNotifier is implemented by transports that distinguish a
+// deliberate departure (goodbye frame) from wire death (MeshNetwork).
+// The callback fires on the receiving endpoint's Recv path, strictly
+// AFTER every frame the departed peer sent has been returned by Recv —
+// that ordering is what lets vkernel fail only the calls whose replies
+// truly never arrived, instead of racing an in-flight reply against
+// the latch.
+type PeerGoneNotifier interface {
+	// OnPeerGone registers fn to be invoked (once per peer departure)
+	// when a peer announces a clean goodbye. fn runs on the endpoint's
+	// Recv goroutine and must not block.
+	OnPeerGone(fn func(peer msg.NodeID, err error))
+}
+
+// Leaver is implemented by endpoints and networks that support a
+// graceful departure from the computation (MeshNetwork): Leave
+// announces a goodbye to every connected peer, drains everything
+// already enqueued onto the wire, and waits (bounded) for the peers to
+// confirm they consumed the drain. Peers mark the leaver departed
+// (*ErrPeerGone for new sends) instead of latching it down, and no
+// in-flight frame is lost.
+type Leaver interface {
+	// Leave announces departure and drains. Idempotent; Close implies
+	// it on transports that implement both.
+	Leave() error
+}
+
+// PeerEpochs is implemented by transports whose connections are
+// versioned (MeshNetwork): every established connection generation for
+// a pair carries an epoch number agreed in the handshake. Callers that
+// record the epoch alongside a request can tell whether a later
+// peer-down notification concerns their generation or a newer one.
+type PeerEpochs interface {
+	// PeerEpoch returns the current connection epoch for the pair
+	// (self, peer); 0 means no connection has ever been established.
+	PeerEpoch(peer msg.NodeID) uint64
 }
 
 // Endpoint is one node's attachment to the network.
@@ -303,6 +363,20 @@ func (s *Stats) WireDials() int64 { return s.byClass.Get("wire.dials") }
 // as failed.
 func (s *Stats) WirePeerDown() int64 { return s.byClass.Get("wire.peer_down") }
 
+// WirePeerGone returns the number of peers that departed cleanly (a
+// goodbye frame was received and their in-flight frames drained).
+func (s *Stats) WirePeerGone() int64 { return s.byClass.Get("wire.peer_gone") }
+
+// WireReconnects returns the number of times a latched peer's wire was
+// re-established under a reconnect policy (either side: an accepted
+// rejoin dial from the peer, or this side's successful re-dial).
+func (s *Stats) WireReconnects() int64 { return s.byClass.Get("wire.reconnects") }
+
+// WireMisrouted returns the number of inbound frames whose destination
+// header named some other node — dropped, but counted, so a topology
+// misconfiguration shows up in the counter dump instead of as silence.
+func (s *Stats) WireMisrouted() int64 { return s.byClass.Get("wire.misrouted") }
+
 // WireQueueStalls returns how many Sends blocked on a full peer send
 // queue (writer-side backpressure).
 func (s *Stats) WireQueueStalls() int64 { return s.byClass.Get("wire.queue_stall") }
@@ -329,11 +403,20 @@ func (s *Stats) String() string {
 		s.Messages(), s.Bytes(), float64(s.ModeledNetworkNs())/1e6)
 }
 
+// recvItem is one unit in a receive queue: a marshalled message, or —
+// buf == nil — a peer-departure marker the mesh enqueues behind the
+// departed peer's last delivered frame, so consumers observe the
+// departure strictly after everything the peer sent.
+type recvItem struct {
+	buf  []byte
+	peer msg.NodeID // departure marker only: the peer that said goodbye
+}
+
 // queue is an unbounded MPSC message queue with blocking receive.
 type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  [][]byte
+	items  []recvItem
 	closed bool
 }
 
@@ -344,28 +427,38 @@ func newQueue() *queue {
 }
 
 func (q *queue) push(b []byte) error {
+	return q.pushItem(recvItem{buf: b})
+}
+
+// pushGone enqueues a departure marker for peer, ordered behind every
+// frame already delivered.
+func (q *queue) pushGone(peer msg.NodeID) error {
+	return q.pushItem(recvItem{peer: peer})
+}
+
+func (q *queue) pushItem(it recvItem) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
-	q.items = append(q.items, b)
+	q.items = append(q.items, it)
 	q.cond.Signal()
 	return nil
 }
 
-func (q *queue) pop() ([]byte, error) {
+func (q *queue) pop() (recvItem, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if len(q.items) == 0 {
-		return nil, ErrClosed
+		return recvItem{}, ErrClosed
 	}
-	b := q.items[0]
+	it := q.items[0]
 	q.items = q.items[1:]
-	return b, nil
+	return it, nil
 }
 
 func (q *queue) close() {

@@ -18,12 +18,19 @@
 // coalesced frames. The blocking Call/MulticastCall/CallInline forms
 // are built on the same three steps.
 //
-// Every pending call records its destination set. On transports that
-// detect peer death (transport.PeerDownNotifier — the multi-process
-// mesh), a latched wire failure fails exactly the pending calls aimed
-// at the dead peer with *transport.ErrPeerDown instead of leaving them
-// blocked until Close; the kernel counts each such failure as
-// call.failed_peer (see Counters).
+// Every pending call records its destination set, each destination
+// tagged with the connection epoch in force when the call started. On
+// transports that detect peer death (transport.PeerDownNotifier — the
+// multi-process mesh), a latched wire failure fails exactly the
+// pending calls aimed at the dead peer's generation with
+// *transport.ErrPeerDown instead of leaving them blocked until Close;
+// the epoch tag keeps a stale outage notification from killing calls
+// started after a policy reconnect. A peer that departs cleanly
+// (goodbye — transport.PeerGoneNotifier) fails its remaining pending
+// calls with *transport.ErrPeerGone, and only after every reply it
+// actually sent has been dispatched, so an in-flight reply never loses
+// a race to the latch. The kernel counts the failures as
+// call.failed_peer / call.failed_gone (see Counters).
 package vkernel
 
 import (
@@ -47,9 +54,10 @@ type Handler func(k *Kernel, req *msg.Msg)
 
 // Kernel is one node's communication endpoint and dispatcher.
 type Kernel struct {
-	net  transport.Network
-	ep   transport.Endpoint
-	node msg.NodeID
+	net    transport.Network
+	ep     transport.Endpoint
+	node   msg.NodeID
+	epochs transport.PeerEpochs // nil when the transport is unversioned
 
 	seq     atomic.Uint64
 	mu      sync.Mutex
@@ -60,8 +68,10 @@ type Kernel struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 
-	// C counts kernel-level events (currently call.failed_peer: pending
-	// calls failed because their destination's wire died).
+	// C counts kernel-level events: call.failed_peer (pending calls
+	// failed because their destination's wire died) and
+	// call.failed_gone (pending calls failed because their destination
+	// departed cleanly with nothing more to say).
 	C stats.Set
 }
 
@@ -75,13 +85,18 @@ type handlerRange struct {
 // dispatcher goroutine, before any later incoming message is dispatched.
 // dsts is the set of destinations whose replies are still outstanding —
 // the record that lets a peer's wire death fail exactly the calls aimed
-// at it (fail delivers the error to the waiter).
+// at it (fail delivers the error to the waiter). deps holds, parallel
+// to dsts, the connection epoch in force when the call started: a
+// peer-down notification for epoch E fails only calls tagged <= E, so
+// an outage report that races a reconnect cannot kill calls started on
+// the fresh generation.
 type pendingCall struct {
 	ch     chan *msg.Msg
 	want   int
 	got    int
 	inline func(*msg.Msg)
 	dsts   []msg.NodeID
+	deps   []uint64
 	fail   chan error
 }
 
@@ -91,9 +106,23 @@ func (pc *pendingCall) awaiting(n msg.NodeID, drop bool) bool {
 	for i, d := range pc.dsts {
 		if d == n {
 			if drop {
-				pc.dsts[i] = pc.dsts[len(pc.dsts)-1]
-				pc.dsts = pc.dsts[:len(pc.dsts)-1]
+				last := len(pc.dsts) - 1
+				pc.dsts[i] = pc.dsts[last]
+				pc.dsts = pc.dsts[:last]
+				pc.deps[i] = pc.deps[last]
+				pc.deps = pc.deps[:last]
 			}
+			return true
+		}
+	}
+	return false
+}
+
+// awaitingEpoch reports whether the call still expects a reply from
+// node n that was started at epoch <= e. Caller holds k.mu.
+func (pc *pendingCall) awaitingEpoch(n msg.NodeID, e uint64) bool {
+	for i, d := range pc.dsts {
+		if d == n && pc.deps[i] <= e {
 			return true
 		}
 	}
@@ -103,7 +132,10 @@ func (pc *pendingCall) awaiting(n msg.NodeID, drop bool) bool {
 // New creates and starts a kernel for node id on the given network. If
 // the network reports peer death (transport.PeerDownNotifier), the
 // kernel subscribes so pending calls aimed at a dead peer fail with
-// *transport.ErrPeerDown instead of blocking until Close.
+// *transport.ErrPeerDown instead of blocking until Close; if it
+// reports clean departures (transport.PeerGoneNotifier), calls whose
+// replies truly never arrived fail with *transport.ErrPeerGone — after
+// every reply the peer did send has been dispatched.
 func New(net transport.Network, node msg.NodeID) *Kernel {
 	k := &Kernel{
 		net:     net,
@@ -113,30 +145,63 @@ func New(net transport.Network, node msg.NodeID) *Kernel {
 		groups:  make(map[int][]msg.NodeID),
 		done:    make(chan struct{}),
 	}
+	k.epochs, _ = net.(transport.PeerEpochs)
 	if pn, ok := net.(transport.PeerDownNotifier); ok {
 		pn.OnPeerDown(k.peerDown)
+	}
+	if gn, ok := net.(transport.PeerGoneNotifier); ok {
+		gn.OnPeerGone(k.peerGone)
 	}
 	k.wg.Add(1)
 	go k.dispatchLoop()
 	return k
 }
 
+// peerEpoch returns the current connection epoch for a destination (0
+// on unversioned transports, where every call trivially matches every
+// outage).
+func (k *Kernel) peerEpoch(dst msg.NodeID) uint64 {
+	if k.epochs == nil || dst == k.node {
+		return 0
+	}
+	return k.epochs.PeerEpoch(dst)
+}
+
 // peerDown fails every pending call still awaiting a reply from the
-// dead peer. A multicast call that has already collected some replies
-// fails whole: its synchronization guarantee (every destination
-// acknowledged) can no longer be met.
-func (k *Kernel) peerDown(peer msg.NodeID, err error) {
+// dead peer's generation (epoch tags <= the epoch that died; calls
+// started after a reconnect carry a newer tag and survive a stale
+// notification). A multicast call that has already collected some
+// replies fails whole: its synchronization guarantee (every
+// destination acknowledged) can no longer be met.
+func (k *Kernel) peerDown(peer msg.NodeID, epoch uint64, err error) {
+	k.failAwaiting(err, "call.failed_peer", func(pc *pendingCall) bool {
+		return pc.awaitingEpoch(peer, epoch)
+	})
+}
+
+// peerGone fails every pending call still awaiting a reply from the
+// departed peer. It runs on the dispatcher goroutine, strictly after
+// every reply the peer sent before its goodbye was dispatched — so
+// only calls whose replies genuinely never arrived are failed, which
+// is the race the goodbye protocol exists to close.
+func (k *Kernel) peerGone(peer msg.NodeID, err error) {
+	k.failAwaiting(err, "call.failed_gone", func(pc *pendingCall) bool {
+		return pc.awaiting(peer, false)
+	})
+}
+
+func (k *Kernel) failAwaiting(err error, counter string, match func(*pendingCall) bool) {
 	k.mu.Lock()
 	var failed []*pendingCall
 	for seq, pc := range k.pending {
-		if pc.awaiting(peer, false) {
+		if match(pc) {
 			failed = append(failed, pc)
 			delete(k.pending, seq)
 		}
 	}
 	k.mu.Unlock()
 	for _, pc := range failed {
-		k.C.Add("call.failed_peer", 1)
+		k.C.Add(counter, 1)
 		select {
 		case pc.fail <- err:
 		default: // already failed (second peer died first)
@@ -195,12 +260,17 @@ type Pending struct {
 }
 
 // register allocates a correlation sequence and a pending-call record
-// expecting one reply from each destination in dsts.
+// expecting one reply from each destination in dsts, each tagged with
+// the destination's current connection epoch (see pendingCall.deps).
 func (k *Kernel) register(dsts []msg.NodeID, inline func(*msg.Msg)) (uint64, *Pending, error) {
 	seq := k.seq.Add(1)
 	want := len(dsts)
 	ch := make(chan *msg.Msg, want)
 	fail := make(chan error, 1)
+	deps := make([]uint64, len(dsts))
+	for i, d := range dsts {
+		deps[i] = k.peerEpoch(d)
+	}
 	k.mu.Lock()
 	if k.closed {
 		k.mu.Unlock()
@@ -209,6 +279,7 @@ func (k *Kernel) register(dsts []msg.NodeID, inline func(*msg.Msg)) (uint64, *Pe
 	k.pending[seq] = &pendingCall{
 		ch: ch, want: want, inline: inline, fail: fail,
 		dsts: append([]msg.NodeID(nil), dsts...),
+		deps: deps,
 	}
 	k.mu.Unlock()
 	return seq, &Pending{k: k, ch: ch, fail: fail, want: want}, nil
@@ -228,8 +299,11 @@ func (k *Kernel) unregister(seq uint64) {
 // was lost, or the established connection broke — has no reply coming;
 // on transports that detect peer death (the mesh), Wait returns
 // *transport.ErrPeerDown for it promptly instead of blocking until the
-// kernel closes. On the loopback transports a connection only dies at
-// shutdown, where Close unblocks every waiter with ErrClosed.
+// kernel closes. A request whose peer departs cleanly (goodbye) fails
+// with *transport.ErrPeerGone, but only after every reply the peer
+// actually sent has been dispatched — an in-flight reply always wins
+// over the departure. On the loopback transports a connection only
+// dies at shutdown, where Close unblocks every waiter with ErrClosed.
 func (p *Pending) Wait() ([]*msg.Msg, error) {
 	if p == nil || p.want == 0 {
 		return nil, nil

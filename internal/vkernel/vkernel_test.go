@@ -298,9 +298,10 @@ func TestBlockedCallFailsWithErrPeerDownOnWireDeath(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("request never reached node 0")
 	}
-	// Kill node 0's side of the wire while the call is blocked.
+	// Kill node 0's side of the wire abruptly while the call is
+	// blocked — no goodbye, so this is wire death, not departure.
 	killAt := time.Now()
-	net0.Close()
+	net0.Kill()
 
 	select {
 	case out := <-res:
@@ -334,5 +335,73 @@ func TestReplyBeatsLatePeerDeath(t *testing.T) {
 	// The completed call is untouched; only the counter stays zero.
 	if got := k1.Counters()["call.failed_peer"]; got != 0 {
 		t.Fatalf("call.failed_peer = %d after a completed call, want 0", got)
+	}
+}
+
+// TestGoodbyeDeliversReplyAndFailsOnlyUnanswered is the reply-vs-EOF
+// race the goodbye protocol closes, in miniature: node 0 replies to
+// one call and departs IMMEDIATELY, with the reply still in flight,
+// while a second call it never answered stays pending. The answered
+// call must receive its reply — never a latch error — and exactly the
+// unanswered call fails, with the typed *transport.ErrPeerGone and
+// counted as call.failed_gone.
+func TestGoodbyeDeliversReplyAndFailsOnlyUnanswered(t *testing.T) {
+	k0, k1, net0, _ := newMeshKernels(t)
+
+	parkedArrived := make(chan struct{})
+	k0.Handle(msg.KindPing+1, msg.KindPing+1, func(k *Kernel, req *msg.Msg) {
+		close(parkedArrived) // never replies
+	})
+	replied := make(chan struct{})
+	k0.Handle(msg.KindPing, msg.KindPing, func(k *Kernel, req *msg.Msg) {
+		k.Reply(req, []byte("bye"))
+		close(replied)
+	})
+
+	parkedRes := make(chan error, 1)
+	go func() {
+		_, err := k1.Call(0, msg.KindPing+1, nil)
+		parkedRes <- err
+	}()
+	select {
+	case <-parkedArrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked request never arrived")
+	}
+
+	answeredRes := make(chan error, 1)
+	var reply *msg.Msg
+	go func() {
+		var err error
+		reply, err = k1.Call(0, msg.KindPing, nil)
+		answeredRes <- err
+	}()
+	// Close node 0 the instant the reply is enqueued — the goodbye
+	// drain must carry it out before the departure latches.
+	<-replied
+	net0.Close()
+
+	select {
+	case err := <-answeredRes:
+		if err != nil || string(reply.Payload) != "bye" {
+			t.Fatalf("answered call lost its reply to the departure: %v, %v", reply, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("answered call never returned")
+	}
+	select {
+	case err := <-parkedRes:
+		var pg *transport.ErrPeerGone
+		if !errors.As(err, &pg) || pg.Node != 0 {
+			t.Fatalf("unanswered call = %v, want *transport.ErrPeerGone{Node: 0}", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unanswered call never failed after the departure")
+	}
+	if got := k1.Counters()["call.failed_gone"]; got != 1 {
+		t.Fatalf("call.failed_gone = %d, want 1", got)
+	}
+	if got := k1.Counters()["call.failed_peer"]; got != 0 {
+		t.Fatalf("call.failed_peer = %d after a clean departure, want 0", got)
 	}
 }
