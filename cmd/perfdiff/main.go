@@ -12,6 +12,8 @@
 //	E11  batched.writes.<k>    coalesced wire writes per sync over TCP
 //	E12  batched.writes.<k>    writer-side wire writes per sync across
 //	                           the two-process mesh
+//	E14  batched.writes.<k>    same, for the public-API SPMD program
+//	                           (core.System over Config.Topology)
 //
 // Usage: perfdiff [-dir .] [-threshold 0.20]
 //
@@ -44,7 +46,7 @@ func headline(exp, metric string) bool {
 		return strings.HasPrefix(metric, "munin.") && strings.HasSuffix(metric, ".msgs")
 	case "E10":
 		return strings.HasPrefix(metric, "batched.")
-	case "E11", "E12":
+	case "E11", "E12", "E14":
 		return strings.HasPrefix(metric, "batched.writes.")
 	}
 	return false
@@ -124,7 +126,7 @@ func main() {
 	fmt.Printf("perfdiff: %s -> %s (threshold %.0f%%)\n", pair[0], pair[1], *threshold*100)
 	regressions := 0
 	compared := 0
-	for _, exp := range []string{"E1", "E10", "E11", "E12"} {
+	for _, exp := range []string{"E1", "E10", "E11", "E12", "E14"} {
 		oldM, curM := old[exp], cur[exp]
 		if oldM == nil {
 			continue // experiment newer than the older trajectory file

@@ -1,16 +1,54 @@
-// Quickstart: a shared counter and a write-once table on a simulated
-// 4-node distributed-memory machine, programmed exactly like a
-// shared-memory multiprocessor — the paper's promise.
+// Quickstart: a shared counter and a write-once table, programmed
+// exactly like a shared-memory multiprocessor — the paper's promise.
+//
+// The SAME program runs on two machine shapes, chosen by flags alone:
+//
+//	# in-process: a simulated 4-node distributed-memory machine
+//	go run ./examples/quickstart
+//
+//	# multi-process: one SPMD member per process, over real TCP
+//	go run ./examples/quickstart -node 0 -peers "0=127.0.0.1:7000,1=127.0.0.1:7001"
+//	go run ./examples/quickstart -node 1 -peers "0=127.0.0.1:7000,1=127.0.0.1:7001"
+//
+// In the multi-process form every process executes this identical
+// program; each runs only its own share of the 8 worker threads, while
+// the lock, the barrier and the shared objects span the processes.
+// Nothing below the flag parsing knows which shape it is running on.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"munin"
 )
 
 func main() {
-	sys, err := munin.New(munin.Config{Nodes: 4})
+	nodes := flag.Int("nodes", 4, "in-process mode: number of simulated processors")
+	node := flag.Int("node", -1, "multi-process mode: this process's node ID")
+	peers := flag.String("peers", "", `multi-process mode: topology as "0=host:port,1=host:port,..."`)
+	listen := flag.String("listen", "", "multi-process mode: override this node's bind address")
+	flag.Parse()
+
+	cfg := munin.Config{Nodes: *nodes}
+	if *peers != "" {
+		if *node < 0 {
+			fmt.Fprintln(os.Stderr, "quickstart: -peers requires -node")
+			os.Exit(2)
+		}
+		topo, err := munin.ParsePeers(*peers, munin.NodeID(*node))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+			os.Exit(2)
+		}
+		if *listen != "" {
+			topo.Peers[topo.Self] = *listen
+		}
+		cfg = munin.Config{Topology: &topo}
+	}
+
+	sys, err := munin.New(cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -267,12 +267,39 @@ func TestE13KillAndRejoin(t *testing.T) {
 	}
 }
 
+// TestE14PublicAPIAcrossProcesses is the SPMD-runtime acceptance
+// shape: a program written against the public DSM API produces
+// byte-identical shared memory run in-process (Nodes: 2) and as two
+// OS processes (Config.Topology), and its flush stays O(1) writer-side
+// wire writes over the mesh.
+func TestE14PublicAPIAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in short mode")
+	}
+	r := E14(2)
+	for _, k := range []string{"1", "16", "64"} {
+		match, ok := r.Metrics["digest.match."+k]
+		if !ok {
+			t.Fatalf("round k=%s produced no metrics: %v", k, r.Notes)
+		}
+		if match != 1 {
+			t.Errorf("round k=%s: shared-memory digest differs between in-process and two-process runs", k)
+		}
+		if got := r.Metrics["batched.writes."+k]; got > 3 {
+			t.Errorf("batched flush of %s objects took %v wire writes across processes, want O(1)", k, got)
+		}
+	}
+	if s, b := r.Metrics["serial.writes.64"], r.Metrics["batched.writes.64"]; s < 8*b {
+		t.Errorf("serial writer-side writes (%v) not meaningfully above batched (%v) at K=64", s, b)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 15 {
+	if len(results) != 16 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

@@ -40,7 +40,7 @@ const kindMeshDone = msg.KindAppBase + 0x7E
 
 // meshChildConfig is the JSON carried in MUNIN_MESH_CHILD.
 type meshChildConfig struct {
-	Role   string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13)
+	Role   string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13), "e14-member" (E14)
 	Topo   transport.Topology `json:"topo"`
 	K      int                `json:"k"`
 	Serial bool               `json:"serial"`
@@ -97,6 +97,13 @@ func MeshChildMain() bool {
 		err = RunE13Home(cfg.Topo, os.Stdout)
 	case "e13-writer":
 		err = RunE13Writer(cfg.Topo, cfg.K, cfg.Phase, os.Stdout)
+	case "e14-member":
+		var m E14Metrics
+		m, err = RunE14Member(cfg.Topo, cfg.K, cfg.Serial, os.Stdout)
+		if err == nil {
+			enc, _ := json.Marshal(m)
+			fmt.Printf("%s%s\n", meshMetricsPrefix, enc)
+		}
 	default:
 		err = fmt.Errorf("unknown mesh role %q", cfg.Role)
 	}

@@ -123,6 +123,18 @@ func (c *Cluster) Stats() *transport.Stats { return c.net.Stats() }
 // ...) the Network interface does not promise.
 func (c *Cluster) Network() transport.Network { return c.net }
 
+// OnPeerGone registers fn to run when a peer departs cleanly (goodbye
+// handshake), on transports that report departures (the mesh); a no-op
+// elsewhere. The SPMD runtime (internal/core) and tests use it to wire
+// departure-aware membership pruning — protocol.Node.PeerGone and
+// dlock.Service.PeerGone — to the transport's notification, so a clean
+// leave stops costing one failed send per relay.
+func (c *Cluster) OnPeerGone(fn func(peer msg.NodeID, err error)) {
+	if gn, ok := c.net.(transport.PeerGoneNotifier); ok {
+		gn.OnPeerGone(fn)
+	}
+}
+
 // Close shuts down the cluster (this process's node, in mesh shape)
 // and waits for all local dispatchers to exit. On the mesh transport
 // this is a graceful departure: the goodbye handshake drains

@@ -1,12 +1,31 @@
-// Package core assembles the Munin runtime: a simulated cluster with a
-// per-node Munin server (internal/protocol), the distributed lock
-// service (internal/dlock), and the Presto-like thread layer
-// (internal/threads), exposed through the DSM interface in internal/api.
+// Package core assembles the Munin runtime: a cluster with a per-node
+// Munin server (internal/protocol), the distributed lock service
+// (internal/dlock), and the Presto-like thread layer (internal/threads),
+// exposed through the DSM interface in internal/api.
 //
 // This is the system the paper describes in §3.1: software coherence
 // control over a message-passing substrate, with type-specific protocol
 // selection per object and delayed updates flushed at synchronization
 // points.
+//
+// # One program, any cluster
+//
+// The same program runs in two shapes, selected by Config alone:
+//
+//   - In-process (Config.Nodes): every node of the simulated cluster
+//     lives in this process, connected by the chan or loopback-TCP
+//     transport. Run spawns the whole thread team.
+//   - SPMD over the mesh (Config.Topology): this process is ONE member
+//     of a multi-process cluster. Every process executes the identical
+//     program; Alloc/NewLock/NewBarrier/NewAtomic assign identical IDs
+//     in every process from program order alone (no coordinator — each
+//     member installs its own view locally, and a setup digest checked
+//     at the Run gate fails fast on divergent setup code, see gate.go);
+//     Run spawns only the threads placed on this member's node and
+//     doubles as a cluster-wide barrier, entering and leaving together
+//     in every process. Locks, barriers and atomics ride vkernel calls
+//     over the mesh to their home members exactly as they ride the
+//     in-process transports.
 package core
 
 import (
@@ -27,23 +46,39 @@ import (
 
 // Config configures a Munin system.
 type Config struct {
-	// Nodes is the number of simulated processors (>= 1).
+	// Nodes is the number of simulated processors (>= 1). Ignored when
+	// Topology is set (the topology defines the cluster size).
 	Nodes int
-	// Transport selects "chan" (default) or "tcp".
+	// Transport selects "chan" (default) or "tcp". Ignored when
+	// Topology is set.
 	Transport string
 	// Cost is the network cost model (zero = free, fast for tests;
 	// transport.DefaultCostModel() for paper-like accounting).
 	Cost transport.CostModel
-	// Placement maps thread IDs to nodes; nil = round robin.
+	// Placement maps thread IDs to nodes; nil = round robin. Every
+	// member of a mesh cluster must use the same placement (it decides
+	// which process runs which thread).
 	Placement threads.Placement
+	// Topology, when non-nil, makes this process one SPMD member of a
+	// multi-process cluster: it binds the topology's self address, runs
+	// only its own node's kernel/protocol/locks, executes only its own
+	// share of every Run's thread team, and reaches the other members
+	// over real TCP connections. Every process of the cluster must run
+	// the identical program with the same topology (different Self).
+	Topology *transport.Topology
+	// Reconnect, when non-nil, overrides the topology's
+	// reconnect-after-latch policy (mesh shape only).
+	Reconnect *transport.ReconnectPolicy
 }
 
 // System is a running Munin instance. It implements api.System.
 type System struct {
-	cfg   Config
-	clu   *cluster.Cluster
-	locks []*dlock.Service
-	nodes []*protocol.Node
+	cfg    Config
+	clu    *cluster.Cluster
+	locks  []*dlock.Service // mesh shape: only the self slot is non-nil
+	nodes  []*protocol.Node // mesh shape: only the self slot is non-nil
+	self   msg.NodeID       // mesh shape only; -1 in-process
+	nnodes int
 
 	mu      sync.Mutex
 	nextObj memory.ObjectID
@@ -53,37 +88,114 @@ type System struct {
 	nextAtm uint32
 	closed  bool
 
+	// Setup digest: a running hash + count over every allocation the
+	// program has made, identical across SPMD members when their setup
+	// code is identical. The run gate exchanges it to fail fast on
+	// divergence (see gate.go).
+	setupSum uint64
+	setupN   int
+
+	// Run-gate state (mesh shape; gates/lostPeers meaningful on node 0
+	// only).
+	gateSeq   uint64
+	gateMu    sync.Mutex
+	gates     map[uint64]*gateInfo
+	lostPeers map[msg.NodeID]error
+
 	threadSeq atomic.Int64
 }
 
 var _ api.System = (*System)(nil)
 
-// New builds and starts a Munin system.
+// New builds and starts a Munin system: the whole simulated cluster
+// in-process, or — with cfg.Topology set — this process's member of a
+// multi-process SPMD cluster.
 func New(cfg Config) (*System, error) {
+	if cfg.Topology != nil {
+		return newMeshMember(cfg)
+	}
 	clu, err := cluster.New(cluster.Config{
 		Nodes: cfg.Nodes, Transport: cfg.Transport, Cost: cfg.Cost,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, clu: clu, nextObj: 1, nextLck: 1, nextBar: 1, nextAtm: 1}
+	s := newSystem(cfg, clu, -1, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		k := clu.Kernel(msg.NodeID(i))
 		ls := dlock.NewService(k)
-		s.locks = append(s.locks, ls)
-		s.nodes = append(s.nodes, protocol.NewNode(k, ls))
+		s.locks[i] = ls
+		s.nodes[i] = protocol.NewNode(k, ls)
 	}
 	return s, nil
+}
+
+// newMeshMember assembles one SPMD member: the self node's kernel, lock
+// service and protocol server, with departure-aware membership pruning
+// and the run-gate handler wired up.
+func newMeshMember(cfg Config) (*System, error) {
+	clu, err := cluster.New(cluster.Config{
+		Topology: cfg.Topology, Reconnect: cfg.Reconnect, Cost: cfg.Cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	self := cfg.Topology.Self
+	s := newSystem(cfg, clu, self, cfg.Topology.Nodes())
+	k := clu.Kernel(self)
+	ls := dlock.NewService(k)
+	node := protocol.NewNode(k, ls)
+	s.locks[self] = ls
+	s.nodes[self] = node
+	// A member that departs cleanly (goodbye) is pruned from this
+	// member's directory copy sets, producer/consumer caches, and
+	// home-side lock queues, so a clean leave stops costing one failed
+	// send per relay — and any gate still waiting on it fails with a
+	// member-lost verdict instead of hanging every survivor's Run.
+	clu.OnPeerGone(func(peer msg.NodeID, err error) {
+		node.PeerGone(peer)
+		ls.PeerGone(peer)
+		s.gatePeerLost(peer, err)
+	})
+	if pd, ok := clu.Network().(transport.PeerDownNotifier); ok {
+		pd.OnPeerDown(func(peer msg.NodeID, _ uint64, err error) {
+			s.gatePeerLost(peer, err)
+		})
+	}
+	k.Handle(kindRunGate, kindRunGate, s.handleRunGate)
+	return s, nil
+}
+
+func newSystem(cfg Config, clu *cluster.Cluster, self msg.NodeID, nnodes int) *System {
+	return &System{
+		cfg: cfg, clu: clu, self: self, nnodes: nnodes,
+		locks: make([]*dlock.Service, nnodes), nodes: make([]*protocol.Node, nnodes),
+		nextObj: 1, nextLck: 1, nextBar: 1, nextAtm: 1,
+		setupSum: fnvOffset,
+		gates:    make(map[uint64]*gateInfo),
+	}
 }
 
 // Name implements api.System.
 func (s *System) Name() string { return "munin" }
 
-// Nodes implements api.System.
-func (s *System) Nodes() int { return s.cfg.Nodes }
+// Nodes implements api.System: the whole cluster's size — for a mesh
+// member, not just this process's share.
+func (s *System) Nodes() int { return s.nnodes }
+
+// Self returns this process's node ID in mesh shape, or -1 when every
+// node lives in this process.
+func (s *System) Self() int { return int(s.self) }
 
 // Alloc implements api.System: creates one shared object with the given
 // annotation, cluster-wide. Must run before worker threads start.
+//
+// Object IDs are assigned from program order alone, so an SPMD program
+// whose every member executes the same setup code allocates identical
+// IDs in every process with no coordinator and no announce traffic: in
+// mesh shape each member installs only its own view of the object. The
+// run gate's setup digest (folded here over the allocation's identity,
+// options and initial contents) catches members whose setup diverged.
 func (s *System) Alloc(name string, size int, hint protocol.Annotation, opts protocol.Options, init []byte) api.RegionID {
 	s.mu.Lock()
 	id := s.nextObj
@@ -94,11 +206,20 @@ func (s *System) Alloc(name string, size int, hint protocol.Annotation, opts pro
 
 	if hint == protocol.Migratory && opts.Lock == 0 {
 		// Allocate a dedicated lock for the migratory object if the
-		// caller didn't associate one.
+		// caller didn't associate one. Deterministic too: the lock
+		// counter advances in program order like everything else.
 		opts.Lock = s.NewLock()
 	}
+	s.recordSetup("alloc", name, size, uint8(hint),
+		int64(opts.Home), uint32(opts.Lock), uint8(opts.Update),
+		opts.Dynamic, opts.ForceReplicated, opts.JoinGap, len(init))
+	s.recordSetupRaw(init)
 	meta := protocol.Meta{ID: id, Name: name, Size: size, Annot: hint, Opts: opts}
-	s.nodes[0].Alloc(meta, init)
+	if s.self >= 0 {
+		s.nodes[s.self].InstallLocal(meta, init)
+	} else {
+		s.nodes[0].Alloc(meta, init)
+	}
 	return region
 }
 
@@ -112,38 +233,63 @@ func (s *System) objectOf(r api.RegionID) memory.ObjectID {
 	return s.regions[r]
 }
 
-// NewLock implements api.System.
+// NewLock implements api.System. IDs are assigned from program order —
+// deterministic across SPMD members, like Alloc.
 func (s *System) NewLock() dlock.LockID {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := dlock.LockID(s.nextLck)
 	s.nextLck++
+	s.mu.Unlock()
+	s.recordSetup("lock", uint32(id))
 	return id
 }
 
 // NewBarrier implements api.System.
 func (s *System) NewBarrier() dlock.BarrierID {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := dlock.BarrierID(s.nextBar)
 	s.nextBar++
+	s.mu.Unlock()
+	s.recordSetup("barrier", uint32(id))
 	return id
 }
 
 // NewAtomic implements api.System.
 func (s *System) NewAtomic() dlock.AtomicID {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := dlock.AtomicID(s.nextAtm)
 	s.nextAtm++
+	s.mu.Unlock()
+	s.recordSetup("atomic", uint32(id))
 	return id
 }
 
 // Run implements api.System: SPMD over the cluster. Each thread gets
 // its own delayed update queue, flushed at every synchronization
 // operation and at thread exit.
+//
+// In mesh shape Run is placement-aware and doubles as a cluster-wide
+// barrier: this process spawns only the threads placed on its own node,
+// and no member's Run starts its threads before every member has called
+// Run (the enter gate, which also verifies the setup digest) or returns
+// before every member's threads have finished (the exit gate). Run
+// panics with a *SetupDivergenceError if the members' setup code
+// diverged; RunErr is the error-returning form.
 func (s *System) Run(nthreads int, body func(c api.Ctx)) {
-	threads.SPMD(s.cfg.Nodes, nthreads, s.cfg.Placement, func(t *threads.Thread) {
+	if err := s.RunErr(nthreads, body); err != nil {
+		panic(err)
+	}
+}
+
+// RunErr is Run with an error return instead of a panic for gate
+// failures: setup divergence (*SetupDivergenceError), or a member lost
+// while waiting at the gate — as the typed *transport.ErrPeerDown /
+// ErrPeerGone when node 0 itself is the lost member (the gate call
+// fails directly), or wrapped in node 0's member-lost verdict when a
+// third member is. Panics from thread bodies still propagate as
+// panics.
+func (s *System) RunErr(nthreads int, body func(c api.Ctx)) error {
+	run := func(t *threads.Thread) {
 		c := &Ctx{
 			sys:    s,
 			thread: t,
@@ -153,10 +299,20 @@ func (s *System) Run(nthreads int, body func(c api.Ctx)) {
 		}
 		defer c.exit()
 		body(c)
-	})
+	}
+	if s.self < 0 {
+		threads.SPMD(s.nnodes, nthreads, s.cfg.Placement, run)
+		return nil
+	}
+	if err := s.runGate(nthreads); err != nil {
+		return err
+	}
+	threads.SPMDLocal(s.self, s.nnodes, nthreads, s.cfg.Placement, run)
+	return s.runGate(nthreads)
 }
 
-// Messages implements api.System.
+// Messages implements api.System. In mesh shape the count covers this
+// process's wire traffic only (each member accounts its own).
 func (s *System) Messages() int64 { return s.clu.Stats().Messages() }
 
 // Bytes implements api.System.
@@ -166,16 +322,25 @@ func (s *System) Bytes() int64 { return s.clu.Stats().Bytes() }
 // per-class counts) for the benchmark harness.
 func (s *System) Stats() *transport.Stats { return s.clu.Stats() }
 
+// mustLocal guards the per-node accessors: in mesh shape only the self
+// node's state exists in this process.
+func (s *System) mustLocal(i int) int {
+	if i < 0 || i >= s.nnodes || s.nodes[i] == nil {
+		panic(fmt.Sprintf("munin: node %d runs in another process (this one is %d)", i, s.self))
+	}
+	return i
+}
+
 // NodeCounters returns node i's protocol counters snapshot.
-func (s *System) NodeCounters(i int) map[string]int64 { return s.nodes[i].C.Snapshot() }
+func (s *System) NodeCounters(i int) map[string]int64 { return s.nodes[s.mustLocal(i)].C.Snapshot() }
 
 // LockService returns node i's lock service (for experiments that
 // measure the proxy benefit directly).
-func (s *System) LockService(i int) *dlock.Service { return s.locks[i] }
+func (s *System) LockService(i int) *dlock.Service { return s.locks[s.mustLocal(i)] }
 
 // ProtocolNode returns node i's Munin server (used by the sharing-study
 // tracer and white-box tests).
-func (s *System) ProtocolNode(i int) *protocol.Node { return s.nodes[i] }
+func (s *System) ProtocolNode(i int) *protocol.Node { return s.nodes[s.mustLocal(i)] }
 
 // Close implements api.System.
 func (s *System) Close() {

@@ -335,6 +335,82 @@ func (s *Service) surrenderLocked(id LockID, p *proxy) {
 	}
 }
 
+// PeerGone prunes a cleanly departed member from this node's home-side
+// lock state: its queued ACQUIRE requests are dropped (the waiter's
+// process is gone; granting to it would only pay a failed send), and a
+// lock it still owned is released — granted to the next queued waiter,
+// or parked unowned — so the remaining members are not deadlocked
+// behind an owner that will never surrender. A migratory payload the
+// departed owner held is lost with it (clean departure while holding a
+// lock is a program error; this keeps the failure local to that lock).
+//
+// The runtime calls this when the transport reports a goodbye
+// (transport.PeerGoneNotifier), strictly after everything the peer sent
+// — including any final RELEASE — has been dispatched, so only state
+// the peer genuinely abandoned is pruned. Barrier arrivals are left
+// untouched: an arrival that already counted keeps counting (the
+// release reply to the departed member fails once, harmlessly).
+//
+// Counters (on the kernel's set): dlock.gone_dequeued (queued grants
+// dropped), dlock.gone_owner (owned locks force-released).
+func (s *Service) PeerGone(peer msg.NodeID) {
+	s.mu.Lock()
+	type idHome struct {
+		id LockID
+		h  *homeState
+	}
+	homes := make([]idHome, 0, len(s.homes))
+	for id, h := range s.homes {
+		homes = append(homes, idHome{id, h})
+	}
+	s.mu.Unlock()
+
+	var dequeued, released int64
+	for _, ih := range homes {
+		h := ih.h
+		h.mu.Lock()
+		kept := h.queue[:0]
+		for _, pg := range h.queue {
+			if pg.node == peer {
+				dequeued++
+				continue
+			}
+			kept = append(kept, pg)
+		}
+		h.queue = kept
+		var next *pendingGrant
+		moreWaiters := false
+		if h.owned && h.owner == peer {
+			released++
+			if len(h.queue) > 0 {
+				pg := h.queue[0]
+				h.queue = h.queue[1:]
+				h.owner = pg.node
+				moreWaiters = len(h.queue) > 0
+				next = &pg
+			} else {
+				h.owned = false
+				h.stored = nil // the owner's migratory payload left with it
+			}
+		}
+		h.mu.Unlock()
+		if next != nil {
+			// Grant with no data: the departed owner never provided its
+			// release payload.
+			s.k.Reply(next.req, encodeLockPayload(uint32(ih.id), nil))
+			if moreWaiters {
+				s.k.Send(next.node, kindRecall, encodeLockPayload(uint32(ih.id), nil))
+			}
+		}
+	}
+	if dequeued > 0 {
+		s.k.C.Add("dlock.gone_dequeued", dequeued)
+	}
+	if released > 0 {
+		s.k.C.Add("dlock.gone_owner", released)
+	}
+}
+
 // dispatch routes lock-service messages.
 func (s *Service) dispatch(k *vkernel.Kernel, req *msg.Msg) {
 	switch req.Kind {

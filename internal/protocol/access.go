@@ -283,7 +283,7 @@ func (n *Node) flushBatched(pending []memory.ObjectID) error {
 		g := pcGroups[key]
 		as, err := n.startPushBatch(g)
 		pcAwaits = append(pcAwaits, pcStarted{g: g, awaits: as})
-		if err != nil && !isShutdown(err) {
+		if err != nil && !n.relayBenign(err) {
 			noteErr(err)
 		}
 	}
@@ -303,7 +303,7 @@ func (n *Node) flushBatched(pending []memory.ObjectID) error {
 	settle := func(a flushAwait) error {
 		replies, err := a.p.Wait()
 		if err != nil {
-			if a.benign && isShutdown(err) {
+			if a.benign && n.relayBenign(err) {
 				return nil
 			}
 			return err
@@ -846,7 +846,7 @@ func (n *Node) flushProducer(o *Obj) {
 	// Acknowledged eager push: consumers never wait for data, the
 	// producer pays the wait at its own synchronization point.
 	payload := encodeApply(applyEntry{id: id, seq: seq, spans: spans})
-	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !isShutdown(err) {
+	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !n.relayBenign(err) {
 		panic(fmt.Sprintf("munin: producer push %q: %v", o.meta.Name, err))
 	}
 }

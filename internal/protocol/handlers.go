@@ -166,8 +166,11 @@ func (n *Node) handleWriteOwn(req *msg.Msg) {
 			o.mu.Unlock()
 		} else {
 			n.C.Add("home.inv", 1)
+			// A member that departed cleanly mid-invalidation took its
+			// copy with it — dropping it from the copyset below is the
+			// whole invalidation.
 			if _, err := n.k.Call(member, kindInv,
-				msg.NewBuilder(4).U32(uint32(id)).Bytes()); err != nil {
+				msg.NewBuilder(4).U32(uint32(id)).Bytes()); err != nil && !n.relayBenign(err) {
 				panic(fmt.Sprintf("munin: invalidate object %d at node %d: %v", id, member, err))
 			}
 		}
@@ -318,7 +321,7 @@ func (n *Node) homeMergeDiff(id memory.ObjectID, spans []memory.Span, from msg.N
 	}
 	n.C.Add("home.relay", 1)
 	payload := encodeApply(applyEntry{id: id, seq: seq, spans: spans})
-	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !isShutdown(err) {
+	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !n.relayBenign(err) {
 		panic(fmt.Sprintf("munin: relay diff for object %d: %v", id, err))
 	}
 	return seq
@@ -448,13 +451,13 @@ func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyAppl
 			n.countBatch(len(idx), payload)
 		}
 		p, err := n.k.MulticastCallStart(members, kind, payload)
-		if err != nil && !isShutdown(err) {
+		if err != nil && !n.relayBenign(err) {
 			panic(fmt.Sprintf("munin: relay diff batch: %v", err))
 		}
 		pends = append(pends, p)
 	}
 	for _, p := range pends {
-		if _, err := p.Wait(); err != nil && !isShutdown(err) {
+		if _, err := p.Wait(); err != nil && !n.relayBenign(err) {
 			panic(fmt.Sprintf("munin: relay diff batch: %v", err))
 		}
 	}
@@ -738,7 +741,7 @@ func (n *Node) homeAfterRemoteWrite(id memory.ObjectID, spans []memory.Span, fro
 		memory.EncodeSpans(b, spans)
 	}
 	n.C.Add("home.relay", 1)
-	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !isShutdown(err) {
+	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !n.relayBenign(err) {
 		panic(fmt.Sprintf("munin: redistribute object %d: %v", id, err))
 	}
 	return seq
@@ -787,7 +790,7 @@ func (n *Node) handleRegCons(req *msg.Msg) {
 		for _, c := range consumers {
 			ub.U32(uint32(c))
 		}
-		if _, err := n.k.Call(producer, kindConsUpd, ub.Bytes()); err != nil && !isShutdown(err) {
+		if _, err := n.k.Call(producer, kindConsUpd, ub.Bytes()); err != nil && !n.relayBenign(err) {
 			panic(fmt.Sprintf("munin: consumer-set update for object %d: %v", id, err))
 		}
 	}

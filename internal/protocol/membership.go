@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"errors"
+
+	"munin/internal/memory"
+	"munin/internal/msg"
+	"munin/internal/transport"
+)
+
+// PeerGone prunes a cleanly departed member from this node's protocol
+// state: the node is removed from every directory entry's copy set (so
+// home-side update relays stop addressing it), it stops being any
+// object's registered producer, and it is dropped from every cached
+// producer-side consumer set. The runtime calls this when the transport
+// reports a goodbye (transport.PeerGoneNotifier) — the departed peer
+// took its copies with it, so relaying to it would only pay one failed
+// send per update forever after.
+//
+// The callback ordering of the goodbye protocol makes this safe:
+// OnPeerGone fires strictly after every frame the peer sent has been
+// dispatched, so no diff or registration from the departed member is
+// still in flight when the pruning runs. A relay that raced the
+// departure and was already started is handled separately — the relay
+// paths treat *transport.ErrPeerGone as a benign skip (see isGone).
+//
+// An ownership-protocol object (conventional/general-rw) the departed
+// member still owned exclusively is reclaimed by the home: the home
+// becomes owner of its own — possibly stale — copy, so survivors'
+// reads and writes run the ownership protocol against the home instead
+// of panicking in a fetch aimed at a member that no longer exists.
+// Like a lock abandoned by a departing owner (dlock.Service.PeerGone),
+// unsynchronized bytes the owner held are lost with it; the reclaim
+// keeps the failure local to that object's last unsynchronized writes.
+//
+// Counters: member.gone (departures observed), member.pruned_copies
+// (copy-set entries removed), member.pruned_consumers (cached consumer
+// entries removed), member.reclaimed_owner (exclusive ownerships taken
+// back by the home).
+func (n *Node) PeerGone(peer msg.NodeID) {
+	var copies, consumers, owners int64
+	for i := range n.stripes {
+		s := &n.stripes[i]
+		s.mu.Lock()
+		type idDir struct {
+			id memory.ObjectID
+			d  *dirEntry
+		}
+		dirs := make([]idDir, 0, len(s.dir))
+		for id, d := range s.dir {
+			dirs = append(dirs, idDir{id, d})
+		}
+		objs := make([]*Obj, 0, len(s.objs))
+		for _, o := range s.objs {
+			objs = append(objs, o)
+		}
+		s.mu.Unlock()
+		for _, e := range dirs {
+			d := e.d
+			d.mu.Lock()
+			if d.copyset[peer] {
+				delete(d.copyset, peer)
+				copies++
+			}
+			if d.producer == peer {
+				d.producer = -1
+			}
+			if d.owner == peer {
+				if o := n.obj(e.id); o != nil {
+					o.mu.Lock() // d.mu → o.mu is the established order
+					if o.state == Invalid {
+						o.state = Shared // serveable, though possibly stale
+					}
+					o.dirtyOwner = false
+					o.mu.Unlock()
+				}
+				d.owner = n.id
+				d.copyset[n.id] = true
+				owners++
+			}
+			d.mu.Unlock()
+		}
+		for _, o := range objs {
+			o.mu.Lock()
+			for j, c := range o.consumers {
+				if c == peer {
+					o.consumers = append(o.consumers[:j], o.consumers[j+1:]...)
+					consumers++
+					break
+				}
+			}
+			o.mu.Unlock()
+		}
+	}
+	n.C.Add("member.gone", 1)
+	if copies > 0 {
+		n.C.Add("member.pruned_copies", copies)
+	}
+	if consumers > 0 {
+		n.C.Add("member.pruned_consumers", consumers)
+	}
+	if owners > 0 {
+		n.C.Add("member.reclaimed_owner", owners)
+	}
+}
+
+// isGone reports whether err is a clean peer departure. Update relays
+// and eager pushes treat it as a benign skip: the departed member's
+// copy left with it, so there is nothing to keep coherent — unlike
+// *transport.ErrPeerDown, where the peer may still believe it holds a
+// valid copy. The skip is counted (relay.gone) so a departure racing a
+// flush stays observable.
+func isGone(err error) bool {
+	var gone *transport.ErrPeerGone
+	return errors.As(err, &gone)
+}
+
+// relayBenign reports whether a relay/push/invalidate error is benign:
+// the cluster is shutting down, or the destination departed cleanly.
+func (n *Node) relayBenign(err error) bool {
+	if isShutdown(err) {
+		return true
+	}
+	if isGone(err) {
+		n.C.Add("relay.gone", 1)
+		return true
+	}
+	return false
+}

@@ -11,6 +11,7 @@ import (
 	"munin/internal/duq"
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/netutil"
 	"munin/internal/transport"
 )
 
@@ -144,5 +145,139 @@ func TestFlushSurfacesErrPeerGoneAfterHomeLeaves(t *testing.T) {
 	}
 	if got := writerClu.Stats().WirePeerGone(); got != 1 {
 		t.Fatalf("wire.peer_gone = %d, want 1", got)
+	}
+}
+
+// TestPeerGonePrunesCopyset: a copy holder departs cleanly; the home
+// prunes it from the object's directory copy set (departure-aware
+// membership), so the next flush at the home relays to nobody instead
+// of paying a failed send to the departed member on every update.
+func TestPeerGonePrunesCopyset(t *testing.T) {
+	addrs, err := netutil.ReserveAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	build := func(self msg.NodeID) (*cluster.Cluster, *Node) {
+		topo := transport.Topology{Self: self, Peers: peers}
+		clu, err := cluster.New(cluster.Config{Topology: &topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := clu.Kernel(self)
+		node := NewNode(k, dlock.NewService(k))
+		// The SPMD runtime's membership wiring.
+		clu.OnPeerGone(func(peer msg.NodeID, _ error) { node.PeerGone(peer) })
+		return clu, node
+	}
+	homeClu, homeNode := build(0)
+	defer homeClu.Close()
+	readerClu, readerNode := build(1)
+
+	q := duq.New()
+	opts := DefaultOptions()
+	opts.Home = 0
+	id := memory.ObjectID(1)
+	// SPMD-style deterministic allocation: both members install their
+	// own view locally, no announce traffic.
+	meta := Meta{ID: id, Name: "wm", Size: 64, Annot: WriteMany, Opts: opts}
+	homeNode.InstallLocal(meta, nil)
+	readerNode.InstallLocal(meta, nil)
+
+	// The reader faults a copy in (joining the copyset at the home),
+	// then departs cleanly.
+	buf := make([]byte, 8)
+	readerNode.Read(duq.New(), id, 0, buf)
+	readerClu.Close()
+
+	// Wait for the home to observe the departure (the goodbye rides the
+	// frame stream; OnPeerGone fires on the home's Recv path).
+	deadline := time.Now().Add(5 * time.Second)
+	for homeNode.C.Get("member.gone") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("home never observed the departure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := homeNode.C.Get("member.pruned_copies"); got != 1 {
+		t.Fatalf("member.pruned_copies = %d, want 1", got)
+	}
+
+	// A flush at the home now relays to nobody: no relay attempted, no
+	// failed sends, no panic.
+	homeNode.Write(q, id, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	relaysBefore := homeNode.C.Get("home.relay")
+	if err := homeNode.TryFlushQueue(q); err != nil {
+		t.Fatalf("flush after clean departure: %v", err)
+	}
+	if got := homeNode.C.Get("home.relay"); got != relaysBefore {
+		t.Fatalf("home.relay grew %d -> %d: still relaying to the departed member", relaysBefore, got)
+	}
+	if got := homeNode.C.Get("relay.gone"); got != 0 {
+		t.Fatalf("relay.gone = %d: relay raced the pruning in a test where it should not", got)
+	}
+}
+
+// TestPeerGoneReclaimsExclusiveOwner: a member departs cleanly while
+// holding exclusive ownership of a conventional object; the home
+// reclaims ownership, so survivors' reads and writes run the ownership
+// protocol against the home instead of panicking in a fetch aimed at a
+// member that no longer exists. (The departed member's unsynchronized
+// bytes are lost with it, like a lock abandoned by a departing owner.)
+func TestPeerGoneReclaimsExclusiveOwner(t *testing.T) {
+	addrs, err := netutil.ReserveAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := map[msg.NodeID]string{0: addrs[0], 1: addrs[1]}
+	build := func(self msg.NodeID) (*cluster.Cluster, *Node) {
+		topo := transport.Topology{Self: self, Peers: peers}
+		clu, err := cluster.New(cluster.Config{Topology: &topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := clu.Kernel(self)
+		node := NewNode(k, dlock.NewService(k))
+		clu.OnPeerGone(func(peer msg.NodeID, _ error) { node.PeerGone(peer) })
+		return clu, node
+	}
+	homeClu, homeNode := build(0)
+	defer homeClu.Close()
+	writerClu, writerNode := build(1)
+
+	opts := DefaultOptions()
+	opts.Home = 0
+	id := memory.ObjectID(1)
+	meta := Meta{ID: id, Name: "conv", Size: 8, Annot: Conventional, Opts: opts}
+	homeNode.InstallLocal(meta, nil)
+	writerNode.InstallLocal(meta, nil)
+
+	// The writer takes exclusive ownership (the home's directory now
+	// points at node 1), then departs without synchronizing.
+	q := duq.New()
+	writerNode.Write(q, id, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	writerClu.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for homeNode.C.Get("member.gone") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("home never observed the departure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := homeNode.C.Get("member.reclaimed_owner"); got != 1 {
+		t.Fatalf("member.reclaimed_owner = %d, want 1", got)
+	}
+
+	// Survivors' accesses must not panic (before the fix: fetchFrom the
+	// departed owner panicked the home's dispatcher). The departed
+	// member's unsynchronized write is lost; the home serves its own
+	// copy.
+	buf := make([]byte, 8)
+	homeNode.Read(duq.New(), id, 0, buf)
+	homeNode.Write(duq.New(), id, 0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	homeNode.Read(duq.New(), id, 0, buf)
+	if buf[0] != 9 {
+		t.Fatalf("home write after reclaim not visible: %v", buf)
 	}
 }

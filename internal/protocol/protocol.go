@@ -361,11 +361,9 @@ func (n *Node) dirEntryOf(id memory.ObjectID) *dirEntry {
 	return d
 }
 
-// Alloc installs a new shared object cluster-wide. It must be called
-// from single-threaded setup code (the driver), before worker threads
-// touch the object. The initial data lives at the object's home;
-// private objects get a full local copy on every node.
-func (n *Node) Alloc(meta Meta, init []byte) {
+// checkAllocArgs validates allocation arguments and fills a nil init
+// with zeroes.
+func checkAllocArgs(meta Meta, init []byte) []byte {
 	if meta.Size <= 0 {
 		panic(fmt.Sprintf("munin: alloc %q: size must be positive", meta.Name))
 	}
@@ -375,6 +373,15 @@ func (n *Node) Alloc(meta Meta, init []byte) {
 	if init == nil {
 		init = make([]byte, meta.Size)
 	}
+	return init
+}
+
+// Alloc installs a new shared object cluster-wide. It must be called
+// from single-threaded setup code (the driver), before worker threads
+// touch the object. The initial data lives at the object's home;
+// private objects get a full local copy on every node.
+func (n *Node) Alloc(meta Meta, init []byte) {
+	init = checkAllocArgs(meta, init)
 	payload := encodeAlloc(meta, init)
 	// Synchronous install on every node: setup traffic, acked so no
 	// worker can race an in-flight announce.
@@ -388,6 +395,20 @@ func (n *Node) Alloc(meta Meta, init []byte) {
 			panic(fmt.Sprintf("munin: alloc %q: announce to node %d: %v", meta.Name, dst, err))
 		}
 	}
+}
+
+// InstallLocal installs a new shared object on this node only — the
+// SPMD allocation path for the multi-process runtime. Every process of
+// an SPMD program executes the same setup code in the same order, so
+// each process installs its own view of the object under the identical,
+// deterministically assigned ID and no announce traffic is needed at
+// all (the runtime's run gate verifies the processes really did
+// allocate identically; see internal/core). Alloc, by contrast, is the
+// single-driver path that announces the object to every node of an
+// in-process cluster.
+func (n *Node) InstallLocal(meta Meta, init []byte) {
+	init = checkAllocArgs(meta, init)
+	n.install(meta, init)
 }
 
 // install creates the local view of a newly allocated object.

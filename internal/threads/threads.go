@@ -47,6 +47,26 @@ func Blocked(threadID, nthreads, nodes int) msg.NodeID {
 // thread body are re-raised on the caller after all threads finish or
 // unwind, so tests fail loudly rather than deadlock.
 func SPMD(nodes, nthreads int, place Placement, body func(t *Thread)) {
+	spmd(nodes, nthreads, place, body, -1)
+}
+
+// SPMDLocal runs one process's share of an SPMD team whose threads span
+// processes: the full team is nthreads threads placed over nodes
+// processors, but only the threads that place puts on node self are
+// spawned here — the same program running in the other processes spawns
+// the rest. Thread IDs and NThreads describe the whole team, so
+// Partition and per-thread work division come out identical to the
+// single-process run. A self with no threads placed on it returns
+// immediately (legal: a 2-thread team on a 4-process cluster).
+func SPMDLocal(self msg.NodeID, nodes, nthreads int, place Placement, body func(t *Thread)) {
+	if int(self) < 0 || int(self) >= nodes {
+		panic(fmt.Sprintf("threads: SPMDLocal self=%d not in 0..%d", self, nodes-1))
+	}
+	spmd(nodes, nthreads, place, body, self)
+}
+
+// spmd is the shared driver: only < 0 means "spawn every thread".
+func spmd(nodes, nthreads int, place Placement, body func(t *Thread), only msg.NodeID) {
 	if nodes <= 0 || nthreads <= 0 {
 		panic(fmt.Sprintf("threads: bad SPMD shape nodes=%d nthreads=%d", nodes, nthreads))
 	}
@@ -56,8 +76,12 @@ func SPMD(nodes, nthreads int, place Placement, body func(t *Thread)) {
 	var wg sync.WaitGroup
 	panics := make(chan any, nthreads)
 	for i := 0; i < nthreads; i++ {
+		node := place(i, nthreads, nodes)
+		if only >= 0 && node != only {
+			continue
+		}
 		wg.Add(1)
-		t := &Thread{ID: i, Node: place(i, nthreads, nodes), NThreads: nthreads}
+		t := &Thread{ID: i, Node: node, NThreads: nthreads}
 		go func() {
 			defer wg.Done()
 			defer func() {

@@ -58,6 +58,52 @@ func TestBlockedPlacement(t *testing.T) {
 	}
 }
 
+func TestSPMDLocalRunsOnlyLocalShare(t *testing.T) {
+	// 10 threads over 4 nodes, run node by node: every thread runs
+	// exactly once across the four "processes", on its placed node,
+	// with team-global ID/NThreads.
+	var count atomic.Int64
+	seen := make([]atomic.Int64, 10)
+	for self := 0; self < 4; self++ {
+		SPMDLocal(msg.NodeID(self), 4, 10, nil, func(th *Thread) {
+			count.Add(1)
+			seen[th.ID].Add(1)
+			if th.Node != msg.NodeID(self) {
+				t.Errorf("thread %d ran on self=%d but placed on node %d", th.ID, self, th.Node)
+			}
+			if th.NThreads != 10 {
+				t.Errorf("NThreads = %d, want team-global 10", th.NThreads)
+			}
+		})
+	}
+	if count.Load() != 10 {
+		t.Fatalf("ran %d threads across members, want 10", count.Load())
+	}
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("thread %d ran %d times, want exactly once", i, seen[i].Load())
+		}
+	}
+}
+
+func TestSPMDLocalEmptyShareReturns(t *testing.T) {
+	// 2 threads on a 4-node cluster: nodes 2 and 3 have no threads.
+	ran := false
+	SPMDLocal(3, 4, 2, nil, func(*Thread) { ran = true })
+	if ran {
+		t.Fatal("node 3 should have an empty share of a 2-thread team")
+	}
+}
+
+func TestSPMDLocalBadSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SPMDLocal(4, 4, 8, nil, func(*Thread) {})
+}
+
 func TestSPMDPanicsPropagate(t *testing.T) {
 	defer func() {
 		if r := recover(); r != "boom" {

@@ -33,6 +33,25 @@
 //	    munin.WriteU64(c, counter, 0, munin.ReadU64(c, counter, 0)+1)
 //	    c.Release(lock)
 //	})
+//
+// # One program, any cluster
+//
+// The same program also runs as one SPMD member of a multi-process
+// cluster — the paper's actual machine shape — selected by configuration
+// alone. Give every process the same program and the same topology
+// (differing only in Self), and each process executes its own share of
+// every Run's thread team while locks, barriers and shared objects span
+// the processes over real TCP:
+//
+//	topo, _ := munin.ParsePeers("0=10.0.0.1:7000,1=10.0.0.2:7000", self)
+//	sys, _ := munin.New(munin.Config{Topology: &topo})
+//	// ...the rest of the program is IDENTICAL to the in-process form.
+//
+// Allocations need no coordinator: every member executes the same setup
+// code, so Alloc/NewLock/NewBarrier/NewAtomic assign identical IDs from
+// program order alone, and Run — which doubles as a cluster-wide
+// barrier — exchanges a setup digest that fails fast with a typed
+// *SetupDivergenceError if the members' setup code ever diverges.
 package munin
 
 import (
@@ -40,6 +59,7 @@ import (
 	"munin/internal/core"
 	"munin/internal/dlock"
 	"munin/internal/ivy"
+	"munin/internal/msg"
 	"munin/internal/protocol"
 	"munin/internal/transport"
 )
@@ -107,7 +127,34 @@ type (
 // CostModel charges messages with modeled network time.
 type CostModel = transport.CostModel
 
-// New builds and starts a Munin system.
+// NodeID identifies a node (processor) in the cluster.
+type NodeID = msg.NodeID
+
+// Topology describes a multi-process cluster: this process's node ID
+// plus every node's listen address. Set Config.Topology to run one
+// member of such a cluster instead of the in-process simulation.
+type Topology = transport.Topology
+
+// ReconnectPolicy is the mesh's opt-in reconnect-after-latch policy
+// (Topology.Reconnect / Config.Reconnect).
+type ReconnectPolicy = transport.ReconnectPolicy
+
+// SetupDivergenceError is returned (RunErr) or panicked (Run) in every
+// member of a mesh cluster whose processes did not execute identical
+// setup code — the deterministic-allocation contract was broken.
+type SetupDivergenceError = core.SetupDivergenceError
+
+// ParsePeers builds a validated topology from the flag form
+// "0=host:port,1=host:port,..." plus this process's node ID.
+func ParsePeers(spec string, self NodeID) (Topology, error) { return transport.ParsePeers(spec, self) }
+
+// LoadTopology reads and validates a topology JSON file:
+// {"self": 1, "peers": {"0": "10.0.0.1:7000", "1": "10.0.0.2:7000"}}.
+func LoadTopology(path string) (Topology, error) { return transport.LoadTopology(path) }
+
+// New builds and starts a Munin system: the whole cluster in-process
+// (Config.Nodes), or this process's SPMD member of a multi-process
+// cluster (Config.Topology).
 func New(cfg Config) (*System, error) { return core.New(cfg) }
 
 // NewIvy builds and starts the Ivy baseline.

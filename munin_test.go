@@ -1,6 +1,8 @@
 package munin
 
 import (
+	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -134,5 +136,77 @@ func TestCostModelAccounting(t *testing.T) {
 	sys.Run(2, func(c Ctx) { WriteU64(c, r, 0, uint64(c.ThreadID())) })
 	if sys.Stats().ModeledNetworkNs() <= 0 {
 		t.Fatal("no modeled network time accumulated")
+	}
+}
+
+// TestQuickstartShapeOverMesh: the identical quickstart program runs as
+// two SPMD members of a multi-process cluster, selected by Config
+// alone — the facade's "one program, any cluster" promise. (Both
+// members live in this test process; they still cross real loopback
+// sockets, exactly as two OS processes would.)
+func TestQuickstartShapeOverMesh(t *testing.T) {
+	addrs := make([]string, 2)
+	lns := make([]net.Listener, 0, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	spec := "0=" + addrs[0] + ",1=" + addrs[1]
+
+	program := func(self NodeID, got *uint64) error {
+		topo, err := ParsePeers(spec, self)
+		if err != nil {
+			return err
+		}
+		sys, err := New(Config{Topology: &topo})
+		if err != nil {
+			return err
+		}
+		defer sys.Close()
+		counter := sys.Alloc("counter", 8, Conventional, DefaultOptions(), nil)
+		lock := sys.NewLock()
+		bar := sys.NewBarrier()
+		sys.Run(8, func(c Ctx) {
+			c.Acquire(lock)
+			WriteU64(c, counter, 0, ReadU64(c, counter, 0)+1)
+			c.Release(lock)
+			c.Barrier(bar, 8)
+			if c.ThreadID() == 0 {
+				*got = ReadU64(c, counter, 0)
+			}
+		})
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	var got0 uint64
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sink uint64
+			p := &sink
+			if i == 0 {
+				p = &got0 // thread 0 runs in member 0
+			}
+			errs[i] = program(NodeID(i), p)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+	if got0 != 8 {
+		t.Fatalf("counter over the mesh = %d, want 8", got0)
 	}
 }
