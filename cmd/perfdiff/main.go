@@ -14,6 +14,14 @@
 //	                           the two-process mesh
 //	E14  batched.writes.<k>    same, for the public-API SPMD program
 //	                           (core.System over Config.Topology)
+//	E15  flush.wire.ns         steady-state send-wire-path latency
+//	     flush.ns.<k>          end-to-end protocol flush latency (TCP)
+//
+// E15's flush.allocs metric is gated absolutely, not relatively: the
+// newest trajectory file must report exactly zero steady-state heap
+// allocations on the send wire path. A ratio check cannot express
+// "0 must stay 0", so the allocation gate is separate from the
+// threshold machinery.
 //
 // Usage: perfdiff [-dir .] [-threshold 0.20]
 //
@@ -48,6 +56,8 @@ func headline(exp, metric string) bool {
 		return strings.HasPrefix(metric, "batched.")
 	case "E11", "E12", "E14":
 		return strings.HasPrefix(metric, "batched.writes.")
+	case "E15":
+		return metric == "flush.wire.ns" || strings.HasPrefix(metric, "flush.ns.")
 	}
 	return false
 }
@@ -126,7 +136,7 @@ func main() {
 	fmt.Printf("perfdiff: %s -> %s (threshold %.0f%%)\n", pair[0], pair[1], *threshold*100)
 	regressions := 0
 	compared := 0
-	for _, exp := range []string{"E1", "E10", "E11", "E12", "E14"} {
+	for _, exp := range []string{"E1", "E10", "E11", "E12", "E14", "E15"} {
 		oldM, curM := old[exp], cur[exp]
 		if oldM == nil {
 			continue // experiment newer than the older trajectory file
@@ -161,6 +171,25 @@ func main() {
 				fmt.Printf("  ok         %s %s: %.1f -> %.1f (%+.1f%%)\n", exp, k, was, now, change*100)
 			}
 		}
+	}
+	// The allocation gate is absolute: the newest file must report a
+	// zero-allocation steady-state send wire path. The relative loop
+	// above cannot enforce it — a 0 baseline is skipped as un-ratioable,
+	// so 0 -> 1 would land silently.
+	if curE15, ok := cur["E15"]; ok {
+		compared++
+		if allocs, ok := curE15["flush.allocs"]; !ok {
+			regressions++
+			fmt.Printf("  MISSING    E15 flush.allocs: absent in %s\n", pair[1])
+		} else if allocs != 0 {
+			regressions++
+			fmt.Printf("  REGRESSION E15 flush.allocs: %g, want 0 (steady-state flush must not allocate)\n", allocs)
+		} else {
+			fmt.Printf("  ok         E15 flush.allocs: 0\n")
+		}
+	} else if old["E15"] != nil {
+		regressions++
+		fmt.Printf("  MISSING    E15: present in %s, absent in %s\n", pair[0], pair[1])
 	}
 	fmt.Printf("perfdiff: %d headline metrics compared, %d regressed\n", compared, regressions)
 	if compared == 0 {

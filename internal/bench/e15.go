@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"munin/internal/api"
+	"munin/internal/bufpool"
+	"munin/internal/msg"
+	"munin/internal/protocol"
+	"munin/internal/stats"
+	"munin/internal/transport"
+)
+
+// E15 measures the zero-copy flush pipeline: steady-state heap
+// allocations and latency on the send wire path, plus end-to-end
+// protocol flush latency over TCP.
+//
+// The wire-path rows isolate exactly the machinery the PR pooled —
+// pooled message build, SendOwned ownership hand-off, the writer's
+// reusable frame assembly, the fence — by pointing a mesh peer at a
+// transport.RawSink (a handshake-aware discard listener whose read
+// loop never allocates). testing.AllocsPerRun counts mallocs across
+// the whole process, so any real receiving endpoint would contaminate
+// the measurement; the sink is what makes flush.allocs=0 a meaningful,
+// CI-enforceable number.
+//
+// flush.ns.64 is the E11 workload (64 dirty write-many objects homed
+// on a remote node, one synchronization) timed end to end: protocol
+// plan + diff + encode + wire + home merge + acks.
+func E15(nodes int) *Result {
+	tab := stats.NewTable("E15: zero-copy flush — steady-state allocations and latency",
+		"path", "allocs/op", "ns/op")
+	res := &Result{ID: "E15", Table: tab, Metrics: map[string]float64{}}
+
+	allocs, wireNs, err := wirePathSteadyState()
+	if err != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf("wire path round failed: %v", err))
+		return res
+	}
+	tab.AddRow("send wire path (SendOwned+Flush)", allocs, fmt.Sprintf("%.0f", wireNs))
+	res.Metrics["flush.allocs"] = allocs
+	res.Metrics["flush.wire.ns"] = wireNs
+
+	flushNs := protocolFlushNs(64)
+	tab.AddRow("protocol flush, 64 objects (TCP)", "-", fmt.Sprintf("%.0f", flushNs))
+	res.Metrics["flush.ns.64"] = flushNs
+
+	res.Notes = append(res.Notes,
+		"the send wire path — pooled build, SendOwned, writer drain, fence — performs zero steady-state heap allocations (measured against a RawSink so no receiver allocations pollute the count)",
+		"flush.ns.64 is the full E11 round trip: plan+diff into pooled scratch, one-pass pooled encode, coalesced write, home merge, batched ack")
+	return res
+}
+
+// wirePathSteadyState builds a one-process mesh whose only peer is a
+// RawSink and measures a steady-state SendOwned+Flush: allocations per
+// op (expected 0) and wall-clock ns per op.
+func wirePathSteadyState() (allocs, ns float64, err error) {
+	sink, err := transport.NewRawSink()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sink.Close()
+	topo := transport.Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: "127.0.0.1:0", 1: sink.Addr()},
+	}
+	m, err := transport.NewMeshNetwork(topo, transport.CostModel{})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Kill, not Close: the measurement wants no graceful-drain wait,
+	// and the sink holds no data anyone needs flushed.
+	defer m.Kill()
+
+	ep := m.Endpoint(0)
+	es, ok := ep.(transport.EncodedSender)
+	if !ok {
+		return 0, 0, fmt.Errorf("mesh endpoint is not an EncodedSender")
+	}
+	seq := uint64(0)
+	var sendErr error
+	send := func() {
+		seq++
+		wb := bufpool.Get(msg.HeaderSize + 128)
+		var b msg.Builder
+		b.Reset(wb.B)
+		b.Skip(msg.HeaderSize + 128)
+		wb.B = b.Bytes()
+		for i := msg.HeaderSize; i < len(wb.B); i++ {
+			wb.B[i] = byte(seq)
+		}
+		msg.FillHeader(wb.B, msg.KindPing, 0, 0, 1, seq)
+		if e := es.SendOwned(wb); e != nil && sendErr == nil {
+			sendErr = e
+		}
+		if e := ep.Flush(); e != nil && sendErr == nil {
+			sendErr = e
+		}
+	}
+
+	// Warmup: dial, fault in stats counters, grow queues and pools.
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if sendErr != nil {
+		return 0, 0, sendErr
+	}
+
+	// The GC clears sync.Pools; keep it out of the measurement window.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs = testing.AllocsPerRun(200, send)
+
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		send()
+	}
+	ns = float64(time.Since(start).Nanoseconds()) / iters
+	if sendErr != nil {
+		return 0, 0, sendErr
+	}
+	return allocs, ns, nil
+}
+
+// protocolFlushNs times the batched E11 flush end to end: k dirty
+// write-many objects homed on a remote node over real TCP, averaged
+// across repeated write+flush rounds in one session.
+func protocolFlushNs(k int) float64 {
+	sys := newMuninTCP(2)
+	defer sys.Close()
+	opts := protocol.DefaultOptions()
+	opts.Home = 0 // writer runs on node 1: every flush crosses the wire
+	regions := make([]api.RegionID, k)
+	for i := range regions {
+		regions[i] = sys.Alloc(fmt.Sprintf("wm%d", i), 64, protocol.WriteMany, opts, nil)
+	}
+	var ns float64
+	sys.Run(2, func(c api.Ctx) {
+		if c.ThreadID() != 1 {
+			return
+		}
+		buf := make([]byte, 8)
+		for _, r := range regions {
+			c.Read(r, 0, buf)
+		}
+		const rounds = 50
+		// One untimed round primes copies, pools, and the connection.
+		for _, r := range regions {
+			api.WriteU64(c, r, 0, 1)
+		}
+		c.Flush()
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			for _, r := range regions {
+				api.WriteU64(c, r, 0, uint64(round+2))
+			}
+			c.Flush()
+		}
+		ns = float64(time.Since(start).Nanoseconds()) / rounds
+	})
+	return ns
+}

@@ -88,6 +88,17 @@ func (q *Queue) Drain() []memory.ObjectID {
 	return append([]memory.ObjectID(nil), q.order...)
 }
 
+// DrainInto is Drain appending into caller-owned scratch — the
+// allocation-free form the flush hot path uses, with dst retaining its
+// capacity across flushes.
+func (q *Queue) DrainInto(dst []memory.ObjectID) []memory.ObjectID {
+	if len(q.order) == 0 {
+		q.emptyFlux++
+		return dst
+	}
+	return append(dst, q.order...)
+}
+
 // Commit removes the given emitted objects from the queue, counting
 // each as one propagated update. Objects not committed stay queued in
 // their original first-modification order, so a flush that fails
@@ -98,14 +109,27 @@ func (q *Queue) Commit(emitted []memory.ObjectID) {
 	if len(emitted) == 0 {
 		return
 	}
-	done := make(map[memory.ObjectID]bool, len(emitted))
-	for _, o := range emitted {
-		done[o] = true
-	}
+	// Emissions normally arrive in drain order, so a single cursor
+	// matches them in O(n) without building a set (the old per-flush
+	// done-map was one of the steady-state flush allocations); the inner
+	// scan only runs for out-of-order commits.
+	j := 0
 	removed := 0
 	rest := q.order[:0]
 	for _, o := range q.order {
-		if done[o] && q.dirty[o] {
+		hit := false
+		if j < len(emitted) && emitted[j] == o {
+			hit = true
+			j++
+		} else {
+			for _, e := range emitted {
+				if e == o {
+					hit = true
+					break
+				}
+			}
+		}
+		if hit && q.dirty[o] {
 			delete(q.dirty, o)
 			q.updates++
 			removed++

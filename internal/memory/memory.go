@@ -10,9 +10,16 @@
 // writes to the same object in one interval therefore collapse into one
 // message ("delaying updates allows the system to combine updates to the
 // same object").
+//
+// The flush hot path runs Diff on every dirty object per synchronization
+// point, so Diff is written allocation-free: the caller supplies span and
+// byte scratch (normally pooled via internal/bufpool) and Diff appends
+// into them. DiffAlloc keeps the old allocate-per-call shape for cold
+// paths and diagnostics.
 package memory
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"munin/internal/msg"
@@ -37,27 +44,51 @@ func MakeTwin(data []byte) []byte {
 	return append([]byte(nil), data...)
 }
 
-// Diff computes the byte spans where cur differs from twin. Runs of
-// equal bytes shorter than joinGap between two differing runs are folded
-// into one span, trading a few redundant bytes for fewer spans (the same
-// space/metadata tradeoff real DSM diff encodings make). The two slices
-// must be the same length.
-func Diff(twin, cur []byte, joinGap int) []Span {
+// MakeTwinInto snapshots data into dst (reusing its storage), the
+// pooled-twin counterpart of MakeTwin.
+func MakeTwinInto(dst, data []byte) []byte {
+	return append(dst[:0], data...)
+}
+
+// Diff computes the byte spans where cur differs from twin, appending
+// the spans to dst and their payload bytes to buf; it returns both so
+// callers observe append-style growth. Each returned span's Data aliases
+// buf — the caller owns both scratch slices and decides when the bytes
+// die (on the flush path they are pooled and released once the encoded
+// message is on the wire).
+//
+// Runs of equal bytes shorter than joinGap between two differing runs
+// are folded into one span, trading a few redundant bytes for fewer
+// spans (the same space/metadata tradeoff real DSM diff encodings make).
+// The two slices must be the same length.
+//
+// Equal runs are scanned a 64-bit word at a time: flush-time diffs are
+// dominated by unchanged bytes (that is the point of diffing), so the
+// equal-run scan is the loop that sets the cost of a flush.
+func Diff(dst []Span, buf []byte, twin, cur []byte, joinGap int) ([]Span, []byte) {
 	if len(twin) != len(cur) {
 		panic(fmt.Sprintf("memory: diff length mismatch %d vs %d", len(twin), len(cur)))
 	}
-	var spans []Span
+	n := len(cur)
 	i := 0
-	for i < len(cur) {
-		if twin[i] == cur[i] {
+	for i < n {
+		// Skip the equal run word-at-a-time, then byte-at-a-time to find
+		// the exact mismatch position (or the tail, when fewer than eight
+		// bytes remain).
+		for i+8 <= n && binary.LittleEndian.Uint64(twin[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += 8
+		}
+		for i < n && twin[i] == cur[i] {
 			i++
-			continue
+		}
+		if i >= n {
+			break
 		}
 		// Start of a differing run.
 		start := i
 		last := i // last differing index seen
 		j := i + 1
-		for j < len(cur) {
+		for j < n {
 			if twin[j] != cur[j] {
 				last = j
 				j++
@@ -65,19 +96,31 @@ func Diff(twin, cur []byte, joinGap int) []Span {
 			}
 			// Equal byte: look ahead up to joinGap for another difference.
 			k := j
-			for k < len(cur) && k-last <= joinGap && twin[k] == cur[k] {
+			for k < n && k-last <= joinGap && twin[k] == cur[k] {
 				k++
 			}
-			if k < len(cur) && k-last <= joinGap && twin[k] != cur[k] {
+			if k < n && k-last <= joinGap && twin[k] != cur[k] {
 				last = k
 				j = k + 1
 				continue
 			}
 			break
 		}
-		spans = append(spans, Span{Off: start, Data: append([]byte(nil), cur[start:last+1]...)})
+		off := len(buf)
+		buf = append(buf, cur[start:last+1]...)
+		// Three-index slice: a later append to buf must grow a new backing
+		// array rather than scribble over this span's bytes.
+		dst = append(dst, Span{Off: start, Data: buf[off:len(buf):len(buf)]})
 		i = last + 1
 	}
+	return dst, buf
+}
+
+// DiffAlloc is Diff with fresh allocations — the pre-pooling shape, kept
+// for cold paths (producer-consumer pushes that outlive the flush,
+// race diagnostics) and tests. Returns nil when nothing differs.
+func DiffAlloc(twin, cur []byte, joinGap int) []Span {
+	spans, _ := Diff(nil, nil, twin, cur, joinGap)
 	return spans
 }
 
@@ -100,6 +143,25 @@ func SpanBytes(spans []Span) int {
 	return n
 }
 
+// CloneSpans deep-copies spans into freshly allocated storage (one
+// shared backing buffer). Receive-side decode hands out spans aliasing
+// pooled scratch; any code that parks spans past the handler's return —
+// e.g. out-of-order updates waiting for a sequence gap to fill — must
+// clone them first or the pool will recycle the bytes underneath.
+func CloneSpans(spans []Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	buf := make([]byte, 0, SpanBytes(spans))
+	for i, s := range spans {
+		off := len(buf)
+		buf = append(buf, s.Data...)
+		out[i] = Span{Off: s.Off, Data: buf[off:len(buf):len(buf)]}
+	}
+	return out
+}
+
 // Overlap reports whether any span in a overlaps any span in b.
 // Properly synchronized programs produce non-overlapping concurrent
 // diffs; the write-many protocol uses this to detect data races when
@@ -116,6 +178,17 @@ func Overlap(a, b []Span) bool {
 	return false
 }
 
+// EncodedSpansSize returns the exact wire size of EncodeSpans(spans),
+// letting the flush path size one pooled buffer for a whole message
+// before encoding instead of growing into it.
+func EncodedSpansSize(spans []Span) int {
+	n := 4 // count word
+	for _, s := range spans {
+		n += 4 + msg.UvarintLen(uint64(len(s.Data))) + len(s.Data)
+	}
+	return n
+}
+
 // EncodeSpans appends a wire encoding of spans to b.
 func EncodeSpans(b *msg.Builder, spans []Span) {
 	b.U32(uint32(len(spans)))
@@ -125,21 +198,45 @@ func EncodeSpans(b *msg.Builder, spans []Span) {
 	}
 }
 
-// DecodeSpans reads spans encoded by EncodeSpans. The returned spans
-// copy their data out of the reader's buffer.
-func DecodeSpans(r *msg.Reader) []Span {
+// DecodeSpansInto reads spans encoded by EncodeSpans, appending the
+// span records to dst and their payload bytes to buf (both normally
+// pooled scratch on the receive path; the spans alias buf, so they are
+// dead once the scratch is released). On a malformed payload the inputs
+// are returned unchanged and r.Err() reports the failure.
+func DecodeSpansInto(dst []Span, buf []byte, r *msg.Reader) ([]Span, []byte) {
 	n := int(r.U32())
-	if r.Err() != nil || n < 0 {
-		return nil
+	if r.Err() != nil {
+		return dst, buf
 	}
-	spans := make([]Span, 0, n)
+	// Each encoded span costs at least 5 bytes (4-byte offset plus a
+	// 1-byte length prefix), so a count claiming more than fits in the
+	// remaining payload is corrupt. Rejecting it here keeps a hostile
+	// 32-bit count word from sizing the growth below.
+	if n > r.Remaining()/5 {
+		r.Fail()
+		return dst, buf
+	}
+	d0, b0 := len(dst), len(buf)
 	for i := 0; i < n; i++ {
 		off := int(r.U32())
-		data := append([]byte(nil), r.BytesN()...)
+		data := r.BytesN()
 		if r.Err() != nil {
-			return nil
+			return dst[:d0], buf[:b0]
 		}
-		spans = append(spans, Span{Off: off, Data: data})
+		p := len(buf)
+		buf = append(buf, data...)
+		dst = append(dst, Span{Off: off, Data: buf[p:len(buf):len(buf)]})
+	}
+	return dst, buf
+}
+
+// DecodeSpans reads spans encoded by EncodeSpans into fresh storage.
+// The returned spans copy their data out of the reader's buffer; nil is
+// returned on malformed input (r.Err() reports why).
+func DecodeSpans(r *msg.Reader) []Span {
+	spans, _ := DecodeSpansInto(nil, nil, r)
+	if r.Err() != nil {
+		return nil
 	}
 	return spans
 }

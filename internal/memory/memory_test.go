@@ -3,6 +3,7 @@ package memory
 import (
 	"bytes"
 	"math/rand"
+	"runtime/debug"
 	"testing"
 	"testing/quick"
 
@@ -11,7 +12,7 @@ import (
 
 func TestDiffIdentical(t *testing.T) {
 	a := []byte{1, 2, 3, 4}
-	if spans := Diff(a, append([]byte(nil), a...), 0); spans != nil {
+	if spans := DiffAlloc(a, append([]byte(nil), a...), 0); spans != nil {
 		t.Fatalf("diff of identical = %v, want nil", spans)
 	}
 }
@@ -19,7 +20,7 @@ func TestDiffIdentical(t *testing.T) {
 func TestDiffSingleByte(t *testing.T) {
 	twin := []byte{0, 0, 0, 0}
 	cur := []byte{0, 9, 0, 0}
-	spans := Diff(twin, cur, 0)
+	spans := DiffAlloc(twin, cur, 0)
 	if len(spans) != 1 || spans[0].Off != 1 || !bytes.Equal(spans[0].Data, []byte{9}) {
 		t.Fatalf("spans = %v", spans)
 	}
@@ -30,7 +31,7 @@ func TestDiffMultipleRuns(t *testing.T) {
 	cur := make([]byte, 10)
 	cur[0], cur[1] = 1, 1
 	cur[8], cur[9] = 2, 2
-	spans := Diff(twin, cur, 0)
+	spans := DiffAlloc(twin, cur, 0)
 	if len(spans) != 2 {
 		t.Fatalf("spans = %v, want 2 runs", spans)
 	}
@@ -44,10 +45,10 @@ func TestDiffJoinGapMergesNearbyRuns(t *testing.T) {
 	cur := make([]byte, 10)
 	cur[0] = 1
 	cur[3] = 1 // 2 equal bytes between runs
-	if spans := Diff(twin, cur, 0); len(spans) != 2 {
+	if spans := DiffAlloc(twin, cur, 0); len(spans) != 2 {
 		t.Fatalf("gap=0 spans = %v, want 2", spans)
 	}
-	spans := Diff(twin, cur, 4)
+	spans := DiffAlloc(twin, cur, 4)
 	if len(spans) != 1 {
 		t.Fatalf("gap=4 spans = %v, want 1 merged", spans)
 	}
@@ -62,7 +63,7 @@ func TestDiffLengthMismatchPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	Diff([]byte{1}, []byte{1, 2}, 0)
+	DiffAlloc([]byte{1}, []byte{1, 2}, 0)
 }
 
 func TestApplySpansReconstructs(t *testing.T) {
@@ -79,7 +80,7 @@ func TestApplySpansReconstructs(t *testing.T) {
 		for i := 0; i < n/4; i++ {
 			cur[rng.Intn(max(n, 1))] = byte(rng.Int())
 		}
-		spans := Diff(twin, cur, int(gap8)%8)
+		spans := DiffAlloc(twin, cur, int(gap8)%8)
 		got := append([]byte(nil), twin...)
 		ApplySpans(got, spans)
 		return bytes.Equal(got, cur)
@@ -168,7 +169,7 @@ func TestDiffProperty_SpansMinimalWithZeroGap(t *testing.T) {
 			p := rng.Intn(n)
 			cur[p] ^= byte(rng.Intn(255) + 1)
 		}
-		for _, s := range Diff(twin, cur, 0) {
+		for _, s := range DiffAlloc(twin, cur, 0) {
 			for i, b := range s.Data {
 				if twin[s.Off+i] == b {
 					return false
@@ -188,5 +189,255 @@ func TestMakeTwinIsPrivate(t *testing.T) {
 	a[0] = 9
 	if tw[0] != 1 {
 		t.Fatal("twin aliases original")
+	}
+}
+
+func TestMakeTwinInto(t *testing.T) {
+	scratch := make([]byte, 0, 16)
+	a := []byte{1, 2, 3}
+	tw := MakeTwinInto(scratch, a)
+	a[0] = 9
+	if !bytes.Equal(tw, []byte{1, 2, 3}) {
+		t.Fatalf("twin = %v", tw)
+	}
+	if &tw[0] != &scratch[:1][0] {
+		t.Fatal("MakeTwinInto did not reuse scratch storage")
+	}
+}
+
+// TestDiffScratchEquivalence pins the pooled Diff (word-at-a-time equal
+// scan into caller scratch) against DiffAlloc across random inputs,
+// lengths straddling the 8-byte word boundary, and all small joinGaps.
+func TestDiffScratchEquivalence(t *testing.T) {
+	f := func(seed int64, gap8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(300) // covers 0, sub-word, and multi-word sizes
+		twin := make([]byte, n)
+		cur := make([]byte, n)
+		rng.Read(twin)
+		copy(cur, twin)
+		for i := 0; i < n/4; i++ {
+			cur[rng.Intn(max(n, 1))] = byte(rng.Int())
+		}
+		gap := int(gap8) % 8
+		want := DiffAlloc(twin, cur, gap)
+		spans, buf := Diff(make([]Span, 0, 4), make([]byte, 0, 64), twin, cur, gap)
+		if SpanBytes(spans) != len(buf) {
+			return false
+		}
+		if len(spans) != len(want) {
+			return false
+		}
+		for i := range want {
+			if spans[i].Off != want[i].Off || !bytes.Equal(spans[i].Data, want[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffWordBoundaries hits the word-scan edges deterministically:
+// mismatches at offsets around multiples of 8 and at the final byte.
+func TestDiffWordBoundaries(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 9, 15, 16, 17, 64} {
+		for _, at := range []int{0, n / 2, n - 1} {
+			twin := make([]byte, n)
+			cur := make([]byte, n)
+			cur[at] = 0xAA
+			spans := DiffAlloc(twin, cur, 0)
+			if len(spans) != 1 || spans[0].Off != at || len(spans[0].Data) != 1 {
+				t.Fatalf("n=%d at=%d: spans = %v", n, at, spans)
+			}
+		}
+	}
+}
+
+// TestDiffScratchGrowthDoesNotCorruptSpans: when the byte scratch grows
+// mid-diff, spans handed out before the growth must keep their bytes.
+func TestDiffScratchGrowthDoesNotCorruptSpans(t *testing.T) {
+	n := 256
+	twin := make([]byte, n)
+	cur := make([]byte, n)
+	for i := 0; i < n; i += 16 {
+		cur[i] = byte(i + 1)
+	}
+	// Tiny scratch forces repeated growth across the diff.
+	spans, _ := Diff(nil, make([]byte, 0, 1), twin, cur, 0)
+	got := make([]byte, n)
+	ApplySpans(got, spans)
+	if !bytes.Equal(got, cur) {
+		t.Fatal("spans corrupted by scratch growth")
+	}
+}
+
+// TestDiffScratchZeroAllocs pins the tentpole property at its root: a
+// diff into presized scratch touches the heap zero times.
+func TestDiffScratchZeroAllocs(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	n := 4096
+	twin := make([]byte, n)
+	cur := make([]byte, n)
+	for i := 0; i < n; i += 256 {
+		cur[i] = 0xCC
+	}
+	dst := make([]Span, 0, 64)
+	buf := make([]byte, 0, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst, buf = Diff(dst[:0], buf[:0], twin, cur, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("Diff into scratch allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestEncodedSpansSizeExact(t *testing.T) {
+	for _, spans := range [][]Span{
+		nil,
+		{{0, []byte{1}}},
+		{{5, make([]byte, 200)}, {1000, nil}, {2000, make([]byte, 127)}, {3000, make([]byte, 128)}},
+	} {
+		b := msg.NewBuilder(16)
+		EncodeSpans(b, spans)
+		if got, want := EncodedSpansSize(spans), b.Len(); got != want {
+			t.Fatalf("EncodedSpansSize(%v) = %d, encoded %d", spans, got, want)
+		}
+	}
+}
+
+func TestDecodeSpansHostileCount(t *testing.T) {
+	// A count word claiming 2^31 spans in a 2-byte body must be rejected
+	// before it can size any allocation.
+	b := msg.NewBuilder(16)
+	b.U32(1 << 31).U16(0)
+	r := msg.NewReader(b.Bytes())
+	if got := DecodeSpans(r); got != nil {
+		t.Fatalf("hostile count decoded to %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("hostile count left reader error-free")
+	}
+}
+
+func TestDecodeSpansIntoAppendsAndAliases(t *testing.T) {
+	spans := []Span{{3, []byte{1, 2}}, {9, []byte{7}}}
+	b := msg.NewBuilder(64)
+	EncodeSpans(b, spans)
+
+	dst := make([]Span, 0, 4)
+	buf := make([]byte, 0, 16)
+	dst, buf = DecodeSpansInto(dst, buf, msg.NewReader(b.Bytes()))
+	if len(dst) != 2 || SpanBytes(dst) != len(buf) {
+		t.Fatalf("dst=%v |buf|=%d", dst, len(buf))
+	}
+	// Spans must alias the scratch: mutating buf shows through.
+	buf[0] ^= 0xFF
+	if dst[0].Data[0] == 1 {
+		t.Fatal("decoded span does not alias scratch buffer")
+	}
+}
+
+func TestDecodeSpansIntoTruncatedRestoresInputs(t *testing.T) {
+	spans := []Span{{0, []byte{1, 2, 3, 4}}}
+	b := msg.NewBuilder(32)
+	EncodeSpans(b, spans)
+	enc := b.Bytes()
+
+	dst := make([]Span, 0, 4)
+	buf := make([]byte, 0, 16)
+	r := msg.NewReader(enc[:len(enc)-1])
+	dst, buf = DecodeSpansInto(dst, buf, r)
+	if r.Err() == nil {
+		t.Fatal("truncated payload decoded cleanly")
+	}
+	if len(dst) != 0 || len(buf) != 0 {
+		t.Fatalf("truncated decode leaked partial results: dst=%v |buf|=%d", dst, len(buf))
+	}
+}
+
+func TestCloneSpansIndependent(t *testing.T) {
+	src := []byte{1, 2, 3, 4}
+	spans := []Span{{0, src[:2]}, {8, src[2:]}}
+	clone := CloneSpans(spans)
+	src[0], src[2] = 0xEE, 0xEE
+	if clone[0].Data[0] != 1 || clone[1].Data[0] != 3 {
+		t.Fatal("clone aliases source storage")
+	}
+	if CloneSpans(nil) != nil {
+		t.Fatal("CloneSpans(nil) != nil")
+	}
+}
+
+func benchPair(n, stride int) (twin, cur []byte) {
+	twin = make([]byte, n)
+	cur = make([]byte, n)
+	for i := range twin {
+		twin[i] = byte(i)
+	}
+	copy(cur, twin)
+	for i := 0; i < n; i += stride {
+		cur[i] ^= 0xFF
+	}
+	return twin, cur
+}
+
+func BenchmarkDiffScratch(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		n, stride int
+	}{
+		{"4KiB-clean", 4096, 1 << 30},
+		{"4KiB-sparse", 4096, 512},
+		{"64KiB-sparse", 65536, 4096},
+		{"64KiB-dense", 65536, 16},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			twin, cur := benchPair(bc.n, bc.stride)
+			dst := make([]Span, 0, 64)
+			buf := make([]byte, 0, bc.n)
+			b.SetBytes(int64(bc.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, buf = Diff(dst[:0], buf[:0], twin, cur, 8)
+			}
+		})
+	}
+}
+
+func BenchmarkDiffAlloc(b *testing.B) {
+	twin, cur := benchPair(4096, 512)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DiffAlloc(twin, cur, 8)
+	}
+}
+
+func BenchmarkSpanEncode(b *testing.B) {
+	twin, cur := benchPair(4096, 512)
+	spans := DiffAlloc(twin, cur, 8)
+	enc := msg.NewBuilder(EncodedSpansSize(spans))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Reset(enc.Bytes()[:0])
+		EncodeSpans(enc, spans)
+	}
+}
+
+func BenchmarkSpanDecodeInto(b *testing.B) {
+	twin, cur := benchPair(4096, 512)
+	spans := DiffAlloc(twin, cur, 8)
+	enc := msg.NewBuilder(EncodedSpansSize(spans))
+	EncodeSpans(enc, spans)
+	wire := enc.Bytes()
+	dst := make([]Span, 0, len(spans))
+	buf := make([]byte, 0, SpanBytes(spans))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst, buf = DecodeSpansInto(dst[:0], buf[:0], msg.NewReader(wire))
 	}
 }

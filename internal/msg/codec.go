@@ -18,6 +18,24 @@ func NewBuilder(capacity int) *Builder {
 	return &Builder{buf: make([]byte, 0, capacity)}
 }
 
+// Reset points the Builder at buf (appending from len(buf)) without
+// allocating. The pooled encode path resets a stack Builder onto a
+// pooled buffer sized for the whole message, so every append lands in
+// reused storage.
+func (b *Builder) Reset(buf []byte) { b.buf = buf }
+
+// Skip extends the encoded payload by n bytes without defining their
+// contents; the caller promises to overwrite them (FillHeader uses this
+// to reserve header space at the front of a wire buffer).
+func (b *Builder) Skip(n int) *Builder {
+	l := len(b.buf)
+	for cap(b.buf) < l+n {
+		b.buf = append(b.buf[:cap(b.buf)], 0)
+	}
+	b.buf = b.buf[:l+n]
+	return b
+}
+
 // Bytes returns the encoded payload.
 func (b *Builder) Bytes() []byte { return b.buf }
 
@@ -65,6 +83,27 @@ func (b *Builder) Bool(v bool) *Builder {
 	return b.U8(0)
 }
 
+// Uvarint appends a bare uvarint (no following bytes). Together with a
+// precomputed encoded size it lets a batch encoder write an Entry-style
+// length prefix and then the entry contents directly into the same
+// buffer, instead of building the entry in a temporary Builder and
+// copying it (Builder.Entry) — the per-entry allocation the zero-copy
+// flush path removes.
+func (b *Builder) Uvarint(v uint64) *Builder {
+	b.buf = binary.AppendUvarint(b.buf, v)
+	return b
+}
+
+// UvarintLen returns the encoded size of v as a uvarint — what a batch
+// encoder needs to size a wire buffer exactly before writing it.
+func UvarintLen(v uint64) int {
+	n := 1
+	for ; v >= 0x80; v >>= 7 {
+		n++
+	}
+	return n
+}
+
 // BytesN appends a uvarint length prefix followed by the bytes.
 func (b *Builder) BytesN(p []byte) *Builder {
 	b.buf = binary.AppendUvarint(b.buf, uint64(len(p)))
@@ -108,6 +147,15 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
+
+// Fail puts the reader into the (sticky) error state. Decoders use it
+// to reject structurally impossible values — e.g. a count word that
+// claims more elements than bytes remain — before acting on them.
+func (r *Reader) Fail() {
+	if r.err == nil {
+		r.err = ErrCodec
+	}
+}
 
 // Remaining returns the number of unconsumed bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }

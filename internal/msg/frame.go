@@ -77,6 +77,13 @@ func DecodeFrameRaw(buf []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("msg: frame claims %d messages (max %d): %w",
 			count, MaxFrameMessages, ErrCodec)
 	}
+	// Every entry costs at least its one-byte length prefix, so a count
+	// beyond the remaining bytes is corrupt; rejecting it here keeps a
+	// hostile count word from sizing the preallocation below.
+	if count > r.Remaining() {
+		return nil, fmt.Errorf("msg: frame claims %d messages in %d bytes: %w",
+			count, r.Remaining(), ErrCodec)
+	}
 	entries := make([][]byte, 0, count)
 	for i := 0; i < count; i++ {
 		e := r.BytesN()

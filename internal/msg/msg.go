@@ -65,6 +65,13 @@ type Msg struct {
 // headerSize is the fixed encoded header length in bytes.
 const headerSize = 2 + 2 + 4 + 4 + 8 + 4
 
+// HeaderSize is the fixed encoded header length in bytes. The pooled
+// encode path reserves this many bytes at the front of a wire buffer
+// (Builder.Skip), builds the payload in place behind them, and stamps
+// the header with FillHeader once routing and correlation are known —
+// no Marshal copy.
+const HeaderSize = headerSize
+
 // ErrShortMessage is returned when decoding a buffer too small to contain
 // a complete message.
 var ErrShortMessage = errors.New("msg: short message")
@@ -80,6 +87,43 @@ func (m *Msg) Marshal() []byte {
 	binary.BigEndian.PutUint32(buf[20:], uint32(len(m.Payload)))
 	copy(buf[headerSize:], m.Payload)
 	return buf
+}
+
+// FillHeader stamps the fixed header into the first HeaderSize bytes
+// of buf, which must already hold HeaderSize reserved bytes followed by
+// the complete payload (the payload length word is derived from
+// len(buf)). This is the in-place counterpart of Marshal for wire
+// buffers built directly in pooled storage.
+func FillHeader(buf []byte, kind Kind, flags uint16, from, to NodeID, seq uint64) {
+	if len(buf) < headerSize {
+		panic(ErrShortMessage)
+	}
+	binary.BigEndian.PutUint16(buf[0:], uint16(kind))
+	binary.BigEndian.PutUint16(buf[2:], flags)
+	binary.BigEndian.PutUint32(buf[4:], uint32(from))
+	binary.BigEndian.PutUint32(buf[8:], uint32(to))
+	binary.BigEndian.PutUint64(buf[12:], seq)
+	binary.BigEndian.PutUint32(buf[20:], uint32(len(buf)-headerSize))
+}
+
+// PeekHeader decodes only the kind and destination from a marshalled
+// message — what a transport needs to route and charge an already
+// encoded buffer without materializing a Msg.
+func PeekHeader(buf []byte) (kind Kind, to NodeID, err error) {
+	if len(buf) < headerSize {
+		return 0, 0, ErrShortMessage
+	}
+	return Kind(binary.BigEndian.Uint16(buf[0:])), NodeID(binary.BigEndian.Uint32(buf[8:])), nil
+}
+
+// SetFrom overwrites the sender field of a marshalled message in place.
+// Transports stamp it on owned buffers the way Send stamps m.From, so
+// an encoder never needs to know which endpoint will emit the buffer.
+func SetFrom(buf []byte, from NodeID) {
+	if len(buf) < headerSize {
+		panic(ErrShortMessage)
+	}
+	binary.BigEndian.PutUint32(buf[4:], uint32(from))
 }
 
 // Unmarshal decodes a message from buf. The returned message's payload

@@ -3,7 +3,9 @@ package protocol
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"munin/internal/bufpool"
 	"munin/internal/memory"
 	"munin/internal/msg"
 	"munin/internal/vkernel"
@@ -147,13 +149,62 @@ func (n *Node) TryFlushQueue(q *duq.Queue) error {
 			return nil
 		})
 	}
-	pending := q.Drain()
-	if len(pending) == 0 {
+	fs := getFlushScratch()
+	defer putFlushScratch(fs)
+	fs.ids = q.DrainInto(fs.ids[:0])
+	if len(fs.ids) == 0 {
 		return nil
 	}
-	err := n.flushBatched(pending)
-	q.Commit(pending)
+	err := n.flushBatched(fs)
+	q.Commit(fs.ids)
 	return err
+}
+
+// flushScratch is the reusable state of one batched flush: the drained
+// dirty set, the span and span-data arenas every diff appends into, the
+// per-destination grouping, and the await list. Entries and spans alias
+// the arenas, which outlive the whole flush (the scratch is returned to
+// the pool only after every destination settled), so a steady-state
+// flush plans and diffs without allocating. Concurrent flushing threads
+// each take their own scratch.
+type flushScratch struct {
+	ids      []memory.ObjectID
+	spans    []memory.Span // span arena; per-object diffs subslice it
+	buf      []byte        // span-data arena behind the spans
+	entries  []dstEntry    // planned emissions in first-modification order
+	dstOrder []msg.NodeID  // distinct homes in first-appearance order
+	grouped  []batchEntry  // entries regrouped contiguously per home
+	groups   []dstGroup    // remote homes' [lo,hi) ranges over grouped
+	awaits   []flushAwait
+}
+
+// dstEntry is one planned diff emission: the home it goes to and the
+// (object, spans) batch entry.
+type dstEntry struct {
+	dst msg.NodeID
+	e   batchEntry
+}
+
+// dstGroup is one remote destination's contiguous range of
+// flushScratch.grouped.
+type dstGroup struct {
+	dst    msg.NodeID
+	lo, hi int
+}
+
+var flushScratchPool = sync.Pool{New: func() any { return new(flushScratch) }}
+
+func getFlushScratch() *flushScratch { return flushScratchPool.Get().(*flushScratch) }
+
+func putFlushScratch(fs *flushScratch) {
+	// Truncate the arenas (capacity is the point of pooling) but clear
+	// the awaits: they hold Pendings and closures that would otherwise
+	// outlive their flush inside the pool.
+	clear(fs.awaits)
+	fs.ids, fs.spans, fs.buf = fs.ids[:0], fs.spans[:0], fs.buf[:0]
+	fs.entries, fs.dstOrder = fs.entries[:0], fs.dstOrder[:0]
+	fs.grouped, fs.groups, fs.awaits = fs.grouped[:0], fs.groups[:0], fs.awaits[:0]
+	flushScratchPool.Put(fs)
 }
 
 // pcGroup collects the producer-consumer objects of one flush that
@@ -167,36 +218,43 @@ type pcGroup struct {
 // the drained dirty set (in first-modification order). A returned
 // error means some destination could not be reached or did not
 // acknowledge — notably *transport.ErrPeerDown from a dead peer.
-func (n *Node) flushBatched(pending []memory.ObjectID) error {
+func (n *Node) flushBatched(fs *flushScratch) error {
+	// Producer-consumer planning state is built lazily: the steady-state
+	// write-many/result flush (the allocation-gated hot path) never
+	// touches it.
 	var (
-		local       []batchEntry // write-many/result homed on this node
-		remote      = make(map[msg.NodeID][]batchEntry)
-		remoteOrder []msg.NodeID
-		pcGroups    = make(map[string]*pcGroup)
-		pcOrder     []string
+		pcGroups map[string]*pcGroup
+		pcOrder  []string
 	)
-	for _, id := range pending {
+	for _, id := range fs.ids {
 		o := n.mustObj(id)
 		switch o.meta.Annot {
 		case WriteMany, Result:
-			spans := n.takeDiff(o)
+			spans := n.takeDiff(fs, o)
 			if len(spans) == 0 {
 				continue
 			}
 			n.C.Add("diff.sent", 1)
 			n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
-			if home := n.homeOf(&o.meta); home == n.id {
-				local = append(local, batchEntry{id: id, spans: spans})
-			} else {
-				if _, ok := remote[home]; !ok {
-					remoteOrder = append(remoteOrder, home)
+			home := n.homeOf(&o.meta)
+			known := false
+			for _, d := range fs.dstOrder {
+				if d == home {
+					known = true
+					break
 				}
-				remote[home] = append(remote[home], batchEntry{id: id, spans: spans})
 			}
+			if !known {
+				fs.dstOrder = append(fs.dstOrder, home)
+			}
+			fs.entries = append(fs.entries, dstEntry{dst: home, e: batchEntry{id: id, spans: spans}})
 		case ProducerConsumer:
 			n.becomeProducer(o)
 			members := n.pushMembers(o)
 			key := memberKey(members)
+			if pcGroups == nil {
+				pcGroups = make(map[string]*pcGroup)
+			}
 			g, ok := pcGroups[key]
 			if !ok {
 				g = &pcGroup{members: members}
@@ -209,7 +267,25 @@ func (n *Node) flushBatched(pending []memory.ObjectID) error {
 		}
 	}
 
-	work := len(remoteOrder) + len(pcOrder)
+	// Regroup each destination's entries contiguously in the scratch so
+	// one home's batch is one subslice, preserving first-modification
+	// order within the destination.
+	var local []batchEntry // write-many/result homed on this node
+	for _, dst := range fs.dstOrder {
+		lo := len(fs.grouped)
+		for _, de := range fs.entries {
+			if de.dst == dst {
+				fs.grouped = append(fs.grouped, de.e)
+			}
+		}
+		if dst == n.id {
+			local = fs.grouped[lo:len(fs.grouped):len(fs.grouped)]
+		} else {
+			fs.groups = append(fs.groups, dstGroup{dst: dst, lo: lo, hi: len(fs.grouped)})
+		}
+	}
+
+	work := len(fs.groups) + len(pcOrder)
 	if len(local) > 0 {
 		work++
 	}
@@ -265,23 +341,22 @@ func (n *Node) flushBatched(pending []memory.ObjectID) error {
 			firstErr = err
 		}
 	}
-	var diffAwaits []flushAwait
-	for _, dst := range remoteOrder {
-		a, err := n.startDiffBatch(dst, remote[dst])
+	for _, g := range fs.groups {
+		a, err := n.startDiffBatch(g.dst, fs.grouped[g.lo:g.hi:g.hi])
 		if err != nil {
 			noteErr(err)
 			continue
 		}
-		diffAwaits = append(diffAwaits, a)
+		fs.awaits = append(fs.awaits, a)
 	}
 	type pcStarted struct {
 		g      *pcGroup
 		awaits []flushAwait
 	}
-	pcAwaits := make([]pcStarted, 0, len(pcOrder))
+	var pcAwaits []pcStarted
 	for _, key := range pcOrder {
 		g := pcGroups[key]
-		as, err := n.startPushBatch(g)
+		as, err := n.startPushBatch(fs, g)
 		pcAwaits = append(pcAwaits, pcStarted{g: g, awaits: as})
 		if err != nil && !n.relayBenign(err) {
 			noteErr(err)
@@ -325,7 +400,7 @@ func (n *Node) flushBatched(pending []memory.ObjectID) error {
 		}
 		unlockGroup(ps.g)
 	}
-	for _, a := range diffAwaits {
+	for _, a := range fs.awaits {
 		noteErr(settle(a))
 	}
 	return firstErr
@@ -341,54 +416,81 @@ type flushAwait struct {
 	benign bool
 }
 
-// takeDiff consumes o's twin and returns the combined update spans
-// (nil if another thread's flush already consumed the twin or every
-// buffered write was a no-op).
-func (n *Node) takeDiff(o *Obj) []memory.Span {
+// takeDiff consumes o's twin, appending the combined update spans to
+// the flush scratch arenas, and returns the object's subslice (nil if
+// another thread's flush already consumed the twin or every buffered
+// write was a no-op). The subslice is three-index so later arena growth
+// cannot scribble over it.
+func (n *Node) takeDiff(fs *flushScratch, o *Obj) []memory.Span {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.twin == nil {
 		return nil
 	}
-	spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
-	o.twin = nil
-	return spans
+	lo := len(fs.spans)
+	fs.spans, fs.buf = memory.Diff(fs.spans, fs.buf, o.twin, o.data, o.meta.Opts.JoinGap)
+	o.dropTwin()
+	return fs.spans[lo:len(fs.spans):len(fs.spans)]
+}
+
+// encodeDiffBatch builds the complete wire message for one home's
+// entries — header space reserved, payload behind it — in a pooled
+// buffer sized exactly, so the encode is one pass with no intermediate
+// Marshal copy. A batch of one uses the single-object kindDiff message,
+// so it costs exactly what the unbatched protocol paid.
+func encodeDiffBatch(entries []batchEntry) (*bufpool.Buffer, msg.Kind) {
+	if len(entries) == 1 {
+		e := entries[0]
+		wb := bufpool.Get(msg.HeaderSize + 4 + memory.EncodedSpansSize(e.spans))
+		var b msg.Builder
+		b.Reset(wb.B)
+		b.Skip(msg.HeaderSize)
+		b.U32(uint32(e.id))
+		memory.EncodeSpans(&b, e.spans)
+		wb.B = b.Bytes()
+		return wb, kindDiff
+	}
+	size := msg.HeaderSize + 4
+	for _, e := range entries {
+		esz := 4 + memory.EncodedSpansSize(e.spans)
+		size += msg.UvarintLen(uint64(esz)) + esz
+	}
+	wb := bufpool.Get(size)
+	var b msg.Builder
+	b.Reset(wb.B)
+	b.Skip(msg.HeaderSize)
+	b.U32(uint32(len(entries)))
+	for _, e := range entries {
+		// The Entry-style length prefix, written directly from the
+		// precomputed size instead of through a temporary Builder.
+		b.Uvarint(uint64(4 + memory.EncodedSpansSize(e.spans)))
+		b.U32(uint32(e.id))
+		memory.EncodeSpans(&b, e.spans)
+	}
+	wb.B = b.Bytes()
+	return wb, kindDiffBatch
 }
 
 // startDiffBatch enqueues one home's planned entries on the coalescing
 // writer and returns the await that settles the assigned sequence
-// numbers from the reply. A batch of one uses the single-object
-// kindDiff message, so it costs exactly what the unbatched protocol
-// paid; larger batches collapse 2K messages (K diffs + K acks) into one
-// kindDiffBatch round trip.
+// numbers from the reply. Larger batches collapse 2K messages (K diffs
+// + K acks) into one kindDiffBatch round trip; the wire message is
+// built in a pooled buffer owned by the transport writer from here on.
 func (n *Node) startDiffBatch(dst msg.NodeID, entries []batchEntry) (flushAwait, error) {
-	if len(entries) == 1 {
+	wb, kind := encodeDiffBatch(entries)
+	if kind == kindDiffBatch {
+		n.countBatch(len(entries), len(wb.B)-msg.HeaderSize)
+	}
+	p, err := n.k.CallStartOwned(dst, kind, wb)
+	if err != nil {
+		return flushAwait{}, fmt.Errorf("diff batch to node %d: %w", dst, err)
+	}
+	if kind == kindDiff {
 		e := entries[0]
-		b := msg.NewBuilder(16 + memory.SpanBytes(e.spans))
-		b.U32(uint32(e.id))
-		memory.EncodeSpans(b, e.spans)
-		p, err := n.k.CallStart(dst, kindDiff, b.Bytes())
-		if err != nil {
-			return flushAwait{}, fmt.Errorf("diff to node %d: %w", dst, err)
-		}
 		return flushAwait{p: p, finish: func(replies []*msg.Msg) error {
 			n.settleOwnDiff(e.id, msg.NewReader(replies[0].Payload).U64())
 			return nil
 		}}, nil
-	}
-	b := msg.NewBuilder(64)
-	b.U32(uint32(len(entries)))
-	for _, e := range entries {
-		b.Entry(func(eb *msg.Builder) {
-			eb.U32(uint32(e.id))
-			memory.EncodeSpans(eb, e.spans)
-		})
-	}
-	payload := b.Bytes()
-	n.countBatch(len(entries), payload)
-	p, err := n.k.CallStart(dst, kindDiffBatch, payload)
-	if err != nil {
-		return flushAwait{}, fmt.Errorf("diff batch to node %d: %w", dst, err)
 	}
 	return flushAwait{p: p, finish: func(replies []*msg.Msg) error {
 		r := msg.NewReader(replies[0].Payload)
@@ -450,7 +552,7 @@ func memberKey(members []msg.NodeID) string {
 // returned here are acknowledged, preserving flushProducer's guarantee:
 // consumers see each object's sequence numbers in order, and an
 // acknowledged push implies all earlier pushes landed.
-func (n *Node) startPushBatch(g *pcGroup) ([]flushAwait, error) {
+func (n *Node) startPushBatch(fs *flushScratch, g *pcGroup) ([]flushAwait, error) {
 	groupKey := memberKey(g.members)
 	type solo struct {
 		members []msg.NodeID
@@ -464,8 +566,10 @@ func (n *Node) startPushBatch(g *pcGroup) ([]flushAwait, error) {
 			o.mu.Unlock()
 			continue
 		}
-		spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
-		o.twin = nil
+		lo := len(fs.spans)
+		fs.spans, fs.buf = memory.Diff(fs.spans, fs.buf, o.twin, o.data, o.meta.Opts.JoinGap)
+		o.dropTwin()
+		spans := fs.spans[lo:len(fs.spans):len(fs.spans)]
 		if len(spans) == 0 {
 			o.mu.Unlock()
 			continue
@@ -506,7 +610,7 @@ func (n *Node) startPushBatch(g *pcGroup) ([]flushAwait, error) {
 		} else {
 			kind = kindApplyBatch
 			payload = encodeApplyBatch(batch)
-			n.countBatch(len(batch), payload)
+			n.countBatch(len(batch), len(payload))
 		}
 		p, err := n.k.MulticastCallStart(g.members, kind, payload)
 		if err != nil {
@@ -682,7 +786,7 @@ func (n *Node) bufferedWrite(q *duq.Queue, o *Obj, off int, data []byte) {
 	// whether the mark was fresh — otherwise writes after a co-located
 	// thread's flush would never be diffed.
 	if o.twin == nil {
-		o.twin = memory.MakeTwin(o.data)
+		o.snapTwin()
 		n.C.Add("twin", 1)
 	}
 	copy(o.data[off:], data)
@@ -712,8 +816,8 @@ func (n *Node) flushDiff(o *Obj) {
 		o.mu.Unlock()
 		return
 	}
-	spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
-	o.twin = nil
+	spans := memory.DiffAlloc(o.twin, o.data, o.meta.Opts.JoinGap)
+	o.dropTwin()
 	o.mu.Unlock()
 	if len(spans) == 0 {
 		return
@@ -761,7 +865,7 @@ func (n *Node) producerWrite(q *duq.Queue, o *Obj, off int, data []byte) {
 	}
 	q.MarkDirty(o.meta.ID)
 	if o.twin == nil { // see bufferedWrite: twin is per-node
-		o.twin = memory.MakeTwin(o.data)
+		o.snapTwin()
 		n.C.Add("twin", 1)
 	}
 	copy(o.data[off:], data)
@@ -816,8 +920,8 @@ func (n *Node) flushProducer(o *Obj) {
 		o.mu.Unlock()
 		return
 	}
-	spans := memory.Diff(o.twin, o.data, o.meta.Opts.JoinGap)
-	o.twin = nil
+	spans := memory.DiffAlloc(o.twin, o.data, o.meta.Opts.JoinGap)
+	o.dropTwin()
 	if len(spans) == 0 {
 		o.mu.Unlock()
 		return

@@ -1,0 +1,127 @@
+package protocol
+
+import (
+	"bytes"
+	"runtime/debug"
+	"testing"
+
+	"munin/internal/memory"
+)
+
+// TestFlushPlanEncodeZeroAllocs pins the protocol half of the
+// zero-copy flush pipeline: in steady state, taking a twin snapshot,
+// diffing into the pooled flush scratch, and encoding the complete
+// wire message into a pooled buffer performs zero heap allocations.
+// (The vkernel call bookkeeping and the transport writer are measured
+// separately; this is the plan+encode stage TryFlushQueue runs.)
+func TestFlushPlanEncodeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	o := &Obj{data: make([]byte, 4096)}
+	step := func() {
+		fs := getFlushScratch()
+		defer putFlushScratch(fs)
+		o.mu.Lock()
+		o.snapTwin()
+		for i := 0; i < len(o.data); i += 256 {
+			o.data[i]++
+		}
+		o.mu.Unlock()
+		// The takeDiff body, minus the Node: diff into the arenas and
+		// return the twin's pooled buffer.
+		o.mu.Lock()
+		lo := len(fs.spans)
+		fs.spans, fs.buf = memory.Diff(fs.spans, fs.buf, o.twin, o.data, 0)
+		o.dropTwin()
+		spans := fs.spans[lo:len(fs.spans):len(fs.spans)]
+		o.mu.Unlock()
+		if len(spans) == 0 {
+			t.Fatal("diff found no spans")
+		}
+		// Encode both shapes: a singleton (kindDiff) and a batch.
+		fs.grouped = append(fs.grouped,
+			batchEntry{id: 1, spans: spans},
+			batchEntry{id: 2, spans: spans})
+		wb, kind := encodeDiffBatch(fs.grouped[:1])
+		if kind != kindDiff {
+			t.Fatalf("singleton encoded as kind %#x", kind)
+		}
+		wb.Release()
+		wb, kind = encodeDiffBatch(fs.grouped)
+		if kind != kindDiffBatch {
+			t.Fatalf("batch encoded as kind %#x", kind)
+		}
+		wb.Release()
+	}
+
+	for i := 0; i < 32; i++ {
+		step() // warm the pools and grow the arenas to steady state
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		t.Fatalf("steady-state flush plan+encode allocated %v times per op, want 0", allocs)
+	}
+}
+
+// TestTwinPoolLifecycle verifies the pooled twin discipline: snapTwin
+// captures the data snapshot into an arena buffer, repeated snaps
+// reuse that buffer, and dropTwin both clears the twin and returns the
+// buffer so a later snap can pool-hit.
+func TestTwinPoolLifecycle(t *testing.T) {
+	o := &Obj{data: []byte("the quick brown fox")}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	o.snapTwin()
+	if !bytes.Equal(o.twin, o.data) {
+		t.Fatalf("twin %q != data %q", o.twin, o.data)
+	}
+	buf := o.twinBuf
+	if buf == nil {
+		t.Fatal("snapTwin left twinBuf nil")
+	}
+
+	// Mutate: the twin must keep the snapshot.
+	o.data[4] = 'Q'
+	if o.twin[4] != 'q' {
+		t.Fatal("twin aliases live data")
+	}
+
+	// A second snap on a still-armed twin reuses the same buffer.
+	o.snapTwin()
+	if o.twinBuf != buf {
+		t.Fatal("re-snap did not reuse the held twin buffer")
+	}
+
+	o.dropTwin()
+	if o.twin != nil || o.twinBuf != nil {
+		t.Fatalf("dropTwin left twin=%v twinBuf=%v", o.twin, o.twinBuf)
+	}
+	o.dropTwin() // idempotent
+}
+
+// BenchmarkEncodeDiffBatch measures the one-pass pooled encode of a
+// multi-object delayed-update batch.
+func BenchmarkEncodeDiffBatch(b *testing.B) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	entries := make([]batchEntry, 16)
+	for i := range entries {
+		entries[i] = batchEntry{
+			id:    memory.ObjectID(i + 1),
+			spans: []memory.Span{{Off: 0, Data: data[:64]}, {Off: 128, Data: data[128:]}},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wb, kind := encodeDiffBatch(entries)
+		if kind != kindDiffBatch {
+			b.Fatal("wrong kind")
+		}
+		wb.Release()
+	}
+}

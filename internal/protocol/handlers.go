@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"munin/internal/memory"
 	"munin/internal/msg"
@@ -249,16 +250,42 @@ func (n *Node) handleFetch(req *msg.Msg) {
 	n.k.Reply(req, msg.NewBuilder(8+len(data)).BytesN(data).Bytes())
 }
 
+// decodeScratch is the receive-side pooled scratch: a handler decodes
+// a message's spans into it, installs them under the object locks
+// (copying into o.data, or cloning when an out-of-order update must be
+// parked — see applyRefresh), and returns it before replying. Nothing
+// decoded into it may outlive the handler.
+type decodeScratch struct {
+	spans   []memory.Span
+	buf     []byte
+	entries []batchEntry
+}
+
+var decodeScratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+func getDecodeScratch() *decodeScratch { return decodeScratchPool.Get().(*decodeScratch) }
+
+func putDecodeScratch(ds *decodeScratch) {
+	clear(ds.entries) // entries hold span headers; drop them, keep capacity
+	ds.spans, ds.buf, ds.entries = ds.spans[:0], ds.buf[:0], ds.entries[:0]
+	decodeScratchPool.Put(ds)
+}
+
 // handleDiff merges a delayed-update diff into the home copy and
 // redistributes it to the other copy holders.
 func (n *Node) handleDiff(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := memory.ObjectID(r.U32())
-	spans := memory.DecodeSpans(r)
+	ds := getDecodeScratch()
+	defer putDecodeScratch(ds)
+	ds.spans, ds.buf = memory.DecodeSpansInto(ds.spans, ds.buf, r)
 	if r.Err() != nil {
 		return
 	}
-	seq := n.homeMergeDiff(id, spans, req.From, false)
+	// The merge both installs the spans (copying into the home copy) and
+	// relays them (copying into the relay payloads), so the scratch is
+	// dead by the time the reply goes out.
+	seq := n.homeMergeDiff(id, ds.spans, req.From, false)
 	// The reply carries the sequence number assigned to this diff: the
 	// relay excludes the sender, so the sender advances its own copy's
 	// sequence from the reply instead (otherwise every later relay to
@@ -280,7 +307,7 @@ func (n *Node) mergeStamp(id memory.ObjectID, spans []memory.Span, from msg.Node
 	d.mu.Lock()
 	o.mu.Lock()
 	if !alreadyApplied {
-		if o.twin != nil && memory.Overlap(spans, memory.Diff(o.twin, o.data, 0)) {
+		if o.twin != nil && memory.Overlap(spans, memory.DiffAlloc(o.twin, o.data, 0)) {
 			// Diagnostic only: concurrent overlapping updates mean the
 			// application raced (loose coherence allows either value).
 			n.C.Add("race.detected", 1)
@@ -363,11 +390,12 @@ func encodeApplyBatch(entries []applyEntry) []byte {
 	return b.Bytes()
 }
 
-// countBatch records the counters for one multi-entry batch message.
-func (n *Node) countBatch(objs int, payload []byte) {
+// countBatch records the counters for one multi-entry batch message of
+// the given payload size.
+func (n *Node) countBatch(objs, payloadBytes int) {
 	n.C.Add("batch.sent", 1)
 	n.C.Add("batch.objs", int64(objs))
-	n.C.Add("batch.bytes", int64(len(payload)))
+	n.C.Add("batch.bytes", int64(payloadBytes))
 }
 
 // homeMergeBatch merges a whole delayed-update batch in entry order
@@ -448,7 +476,7 @@ func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyAppl
 				batch = append(batch, applyEntry{id: entries[i].id, seq: seqs[i], spans: entries[i].spans})
 			}
 			payload = encodeApplyBatch(batch)
-			n.countBatch(len(idx), payload)
+			n.countBatch(len(idx), len(payload))
 		}
 		p, err := n.k.MulticastCallStart(members, kind, payload)
 		if err != nil && !n.relayBenign(err) {
@@ -470,20 +498,25 @@ func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyAppl
 func (n *Node) handleDiffBatch(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	count := int(r.U32())
-	if r.Err() != nil {
+	// Each entry costs at least 9 bytes on the wire (1-byte length
+	// prefix, 4-byte object ID, 4-byte span count), so a count word
+	// claiming more is corrupt — reject before trusting it.
+	if r.Err() != nil || count < 0 || count > r.Remaining()/9 {
 		return
 	}
-	entries := make([]batchEntry, 0, count)
+	ds := getDecodeScratch()
+	defer putDecodeScratch(ds)
 	for i := 0; i < count; i++ {
 		e := r.Entry()
 		id := memory.ObjectID(e.U32())
-		spans := memory.DecodeSpans(e)
+		lo := len(ds.spans)
+		ds.spans, ds.buf = memory.DecodeSpansInto(ds.spans, ds.buf, e)
 		if e.Err() != nil || r.Err() != nil {
 			return
 		}
-		entries = append(entries, batchEntry{id: id, spans: spans})
+		ds.entries = append(ds.entries, batchEntry{id: id, spans: ds.spans[lo:len(ds.spans):len(ds.spans)]})
 	}
-	seqs := n.homeMergeBatch(entries, req.From, false)
+	seqs := n.homeMergeBatch(ds.entries, req.From, false)
 	b := msg.NewBuilder(4 + 8*len(seqs))
 	b.U32(uint32(len(seqs)))
 	for _, s := range seqs {
@@ -498,18 +531,21 @@ func (n *Node) handleDiffBatch(req *msg.Msg) {
 func (n *Node) handleApplyBatch(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	count := int(r.U32())
-	if r.Err() != nil {
+	if r.Err() != nil || count < 0 || count > r.Remaining()/9 {
 		return
 	}
+	ds := getDecodeScratch()
+	defer putDecodeScratch(ds)
 	for i := 0; i < count; i++ {
 		e := r.Entry()
 		id := memory.ObjectID(e.U32())
 		seq := e.U64()
-		spans := memory.DecodeSpans(e)
+		lo := len(ds.spans)
+		ds.spans, ds.buf = memory.DecodeSpansInto(ds.spans, ds.buf, e)
 		if e.Err() != nil || r.Err() != nil {
 			return
 		}
-		n.applyRefresh(n.mustObj(id), seq, spans)
+		n.applyRefresh(n.mustObj(id), seq, ds.spans[lo:len(ds.spans):len(ds.spans)])
 	}
 	n.k.Reply(req, nil)
 }
@@ -531,7 +567,10 @@ func (n *Node) handleApply(req *msg.Msg) {
 	mode := UpdateMode(r.U8())
 	var spans []memory.Span
 	if mode == Refresh {
-		spans = memory.DecodeSpans(r)
+		ds := getDecodeScratch()
+		defer putDecodeScratch(ds)
+		ds.spans, ds.buf = memory.DecodeSpansInto(ds.spans, ds.buf, r)
+		spans = ds.spans
 	}
 	if r.Err() != nil {
 		return
@@ -564,8 +603,10 @@ func (n *Node) applyRefresh(o *Obj, seq uint64, spans []memory.Span) {
 		// us to the copyset when it started serving it), so the update
 		// must not be dropped: park it. The fetch install drains every
 		// parked update newer than its snapshot (alignSeq); parked
-		// updates at or below the snapshot are discarded there.
-		o.pendApply[seq] = spans
+		// updates at or below the snapshot are discarded there. The
+		// spans alias the handler's pooled decode scratch, so parking —
+		// the one place they outlive the handler — clones them.
+		o.pendApply[seq] = memory.CloneSpans(spans)
 		o.mu.Unlock()
 	case seq <= o.applySeq:
 		// Duplicate/old update (we fetched a newer snapshot already).
@@ -597,7 +638,8 @@ func (n *Node) applyRefresh(o *Obj, seq uint64, spans []memory.Span) {
 		// will ever advance past it), and consumers hold no buffered
 		// writes, so the wholesale install is safe for them.
 		n.C.Add("apply.gap", 1)
-		o.pendApply[seq] = spans
+		o.pendApply[seq] = memory.CloneSpans(spans) // see the Invalid case
+
 		if o.meta.Annot == ProducerConsumer && !o.isProducer && o.twin == nil {
 			o.state = Invalid
 			o.genInv++

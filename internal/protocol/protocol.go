@@ -44,6 +44,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"munin/internal/bufpool"
 	"munin/internal/cluster"
 	"munin/internal/dlock"
 	"munin/internal/memory"
@@ -166,7 +167,11 @@ type Obj struct {
 
 	meta Meta
 	data []byte
-	twin []byte // snapshot for delayed-update diffing; nil when clean
+	// twin is the snapshot for delayed-update diffing; nil when clean.
+	// Its bytes live in twinBuf, a pooled buffer returned to the arena
+	// when the twin is consumed (snapTwin/dropTwin).
+	twin    []byte
+	twinBuf *bufpool.Buffer
 
 	state    CopyState
 	fetching bool // a fetch/ownership request is in flight
@@ -203,6 +208,27 @@ type Obj struct {
 
 // Meta returns the object's metadata.
 func (o *Obj) Meta() Meta { return o.meta }
+
+// snapTwin snapshots o.data into a pooled twin buffer — the delayed
+// update mechanism's copy, taken on the first buffered write after a
+// flush. Caller holds o.mu.
+func (o *Obj) snapTwin() {
+	if o.twinBuf == nil {
+		o.twinBuf = bufpool.Get(len(o.data))
+	}
+	o.twin = memory.MakeTwinInto(o.twinBuf.B[:0], o.data)
+}
+
+// dropTwin consumes the twin and returns its buffer to the arena.
+// Caller holds o.mu. Safe immediately after diffing: memory.Diff copies
+// differing bytes into its own span buffer, so no span aliases the twin.
+func (o *Obj) dropTwin() {
+	o.twin = nil
+	if o.twinBuf != nil {
+		o.twinBuf.Release()
+		o.twinBuf = nil
+	}
+}
 
 // dirEntry is the home node's directory record for one object.
 type dirEntry struct {

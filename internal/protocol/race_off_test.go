@@ -1,0 +1,7 @@
+//go:build !race
+
+package protocol
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-pinning tests skip.
+const raceEnabled = false

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"munin/internal/bufpool"
 	"munin/internal/msg"
 )
 
@@ -958,12 +959,13 @@ func (m *MeshNetwork) dialPeerOnce(node msg.NodeID, epoch uint64) (conn net.Conn
 // death instead of only on the queue.
 func (m *MeshNetwork) writeLoop(p *meshPeer) {
 	defer m.writerWG.Done()
+	ws := &writeScratch{}
 	for {
 		items, ok := p.q.drain()
 		if len(items) > 0 {
 			err := p.q.err()
 			if err == nil {
-				err = m.writeToPeer(p, items)
+				err = m.writeToPeer(p, items, ws)
 				if err != nil {
 					if m.isClosed() {
 						err = ErrClosed
@@ -978,11 +980,16 @@ func (m *MeshNetwork) writeLoop(p *meshPeer) {
 					}
 				}
 			}
+			// Batch finished (written or failed): fences observe the
+			// outcome, owned wire buffers return to the pool, and the
+			// batch storage recycles to the queue.
 			for _, it := range items {
 				if it.fence != nil {
 					it.fence <- err
 				}
+				it.own.Release()
 			}
+			p.q.recycle(items)
 		}
 		if !ok {
 			return
@@ -996,13 +1003,13 @@ func (m *MeshNetwork) writeLoop(p *meshPeer) {
 // (a reconnect or a lost duplicate tiebreak swapped the stream under
 // us) — is retried once on the replacement rather than treated as peer
 // death, so a handshake race never turns into a false latch.
-func (m *MeshNetwork) writeToPeer(p *meshPeer, items []sendItem) error {
+func (m *MeshNetwork) writeToPeer(p *meshPeer, items []sendItem, ws *writeScratch) error {
 	for attempt := 0; ; attempt++ {
 		conn, err := m.connFor(p)
 		if err != nil {
 			return err
 		}
-		frames, shared, werr := writeItems(conn, items)
+		frames, shared, werr := writeItems(conn, items, ws)
 		if werr == nil {
 			if frames > 0 {
 				m.stats.chargeWire(frames, shared)
@@ -1051,6 +1058,38 @@ func (e *meshEndpoint) Send(mm *msg.Msg) error {
 	return e.m.peer(mm.To).q.put(sendItem{enc: enc, class: ClassOf(mm.Kind)})
 }
 
+// SendOwned implements EncodedSender; see tcpEndpoint.SendOwned.
+// Self-sends have no writer to release the buffer after a wire write,
+// so the bytes are copied into the receive queue (whose consumer owns
+// its buffers until Recv) and the pooled buffer returns immediately.
+func (e *meshEndpoint) SendOwned(wb *bufpool.Buffer) error {
+	kind, to, err := msg.PeekHeader(wb.B)
+	if err != nil {
+		wb.Release()
+		return err
+	}
+	if int(to) < 0 || int(to) >= e.m.topo.Nodes() {
+		wb.Release()
+		return fmt.Errorf("transport: send to unknown node %d", to)
+	}
+	msg.SetFrom(wb.B, e.m.topo.Self)
+	e.m.stats.chargeEncoded(kind, len(wb.B), e.m.cost, e.m.topo.Self)
+	if to == e.m.topo.Self {
+		enc := append([]byte(nil), wb.B...)
+		wb.Release()
+		if err := e.q.push(enc); err != nil {
+			return err
+		}
+		e.m.stats.delivered(to)
+		return nil
+	}
+	if err := e.m.peer(to).q.put(sendItem{enc: wb.B, own: wb, class: ClassOf(kind)}); err != nil {
+		wb.Release()
+		return err
+	}
+	return nil
+}
+
 // Flush implements Endpoint: fence every peer pipeline this process has
 // opened and wait until all messages enqueued before the call are on
 // the wire.
@@ -1063,34 +1102,36 @@ func (e *meshEndpoint) Send(mm *msg.Msg) error {
 // holds. The fence's contract stays "everything enqueued has reached a
 // live wire or a latched failure"; only shutdown-class errors surface.
 func (e *meshEndpoint) Flush() error {
+	fs := getFenceSet()
+	defer fs.release()
 	e.m.mu.Lock()
-	peers := make([]*meshPeer, 0, len(e.m.peers))
 	for _, p := range e.m.peers {
-		peers = append(peers, p)
+		fs.peers = append(fs.peers, p)
 	}
 	e.m.mu.Unlock()
 
 	var first error
-	var pd *ErrPeerDown
-	var pg *ErrPeerGone
 	latched := func(err error) bool {
+		var pd *ErrPeerDown
+		var pg *ErrPeerGone
 		return errors.As(err, &pd) || errors.As(err, &pg)
 	}
-	fences := make([]chan error, 0, len(peers))
-	for _, p := range peers {
-		ch := make(chan error, 1)
+	for _, p := range fs.peers {
+		ch := getFence()
 		if err := p.q.put(sendItem{fence: ch}); err != nil {
+			putFence(ch) // never enqueued: no writer will touch it
 			if !latched(err) && first == nil {
 				first = err
 			}
 			continue
 		}
-		fences = append(fences, ch)
+		fs.chans = append(fs.chans, ch)
 	}
-	for _, ch := range fences {
+	for _, ch := range fs.chans {
 		if err := <-ch; err != nil && !latched(err) && first == nil {
 			first = err
 		}
+		putFence(ch)
 	}
 	return first
 }

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+)
+
+// RawSink is a mesh-shaped byte bucket: a listener that completes the
+// hello handshake like a real peer, then reads and discards every
+// frame into a fixed buffer without parsing, queuing, or allocating.
+//
+// It exists so allocation benchmarks (bench E15, the transport
+// zero-alloc tests) can measure the SENDER's wire path in isolation:
+// testing.AllocsPerRun counts mallocs across all goroutines in the
+// process, so a real receiving endpoint — whose reader must copy each
+// frame off the wire — would drown the measurement. The sink's
+// steady-state read loop touches only preallocated buffers.
+//
+// Goodbyes are acknowledged (so a graceful Close of the sending mesh
+// still drains), but the sink never initiates traffic.
+type RawSink struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewRawSink binds a loopback listener and starts accepting.
+func NewRawSink() (*RawSink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &RawSink{ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address, for use in a Topology.
+func (s *RawSink) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and severs every connection.
+func (s *RawSink) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *RawSink) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+// serve runs one connection: validate the hello, accept it echoing the
+// dialer's proposed epoch, then discard frames forever. All buffers
+// are allocated up front — the loop body is malloc-free.
+func (s *RawSink) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	var hello [helloLen]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	if string(hello[:4]) != meshMagic ||
+		binary.BigEndian.Uint16(hello[4:6]) != meshProtoVersion {
+		return
+	}
+	var ack [helloAcceptLen]byte
+	ack[0] = helloAccept
+	copy(ack[1:], hello[10:18]) // agree to whatever epoch the dialer proposed
+	if _, err := conn.Write(ack[:]); err != nil {
+		return
+	}
+
+	var word [4]byte
+	buf := make([]byte, 64<<10)
+	for {
+		if _, err := io.ReadFull(conn, word[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(word[:])
+		if n > maxFrameLen {
+			// Control word. Ack goodbyes so a graceful sender Close
+			// gets its drain proof; ignore everything else.
+			if n == ctrlGoodbye {
+				binary.BigEndian.PutUint32(word[:], ctrlGoodbyeAck)
+				if _, err := conn.Write(word[:]); err != nil {
+					return
+				}
+			}
+			continue
+		}
+		left := int(n)
+		for left > 0 {
+			chunk := left
+			if chunk > len(buf) {
+				chunk = len(buf)
+			}
+			rn, err := conn.Read(buf[:chunk])
+			if err != nil {
+				return
+			}
+			left -= rn
+		}
+	}
+}

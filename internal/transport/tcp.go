@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"munin/internal/bufpool"
 	"munin/internal/msg"
 )
 
@@ -264,24 +265,52 @@ func (e *tcpEndpoint) Send(m *msg.Msg) error {
 	return e.peers[m.To].q.put(sendItem{enc: enc, class: ClassOf(m.Kind)})
 }
 
+// SendOwned implements EncodedSender: enqueue an already-marshalled
+// wire buffer, taking ownership. The buffer is released by the writer
+// after its vectored write completes — or right here on any failure —
+// so the hot path moves payload bytes exactly once (diff scratch →
+// wire buffer) and the kernel copies them off the iovec.
+func (e *tcpEndpoint) SendOwned(wb *bufpool.Buffer) error {
+	kind, to, err := msg.PeekHeader(wb.B)
+	if err != nil {
+		wb.Release()
+		return err
+	}
+	if int(to) >= len(e.peers) || to < 0 {
+		wb.Release()
+		return fmt.Errorf("transport: send to unknown node %d", to)
+	}
+	msg.SetFrom(wb.B, e.node)
+	e.net.stats.chargeEncoded(kind, len(wb.B), e.net.cost, e.node)
+	if err := e.peers[to].q.put(sendItem{enc: wb.B, own: wb, class: ClassOf(kind)}); err != nil {
+		wb.Release()
+		return err
+	}
+	return nil
+}
+
 // Flush implements Endpoint: fence every peer queue and wait until all
 // messages enqueued before the call have been written to the sockets.
 func (e *tcpEndpoint) Flush() error {
-	fences := make([]chan error, 0, len(e.peers))
+	fs := getFenceSet()
+	defer fs.release()
 	for _, p := range e.peers {
-		ch := make(chan error, 1)
+		ch := getFence()
 		if err := p.q.put(sendItem{fence: ch}); err != nil {
 			// Queue already closed: nothing of ours remains unwritten
-			// beyond what the shutdown drain handles.
+			// beyond what the shutdown drain handles. The fences already
+			// enqueued are abandoned, not pooled — a writer may still
+			// send into them.
 			return err
 		}
-		fences = append(fences, ch)
+		fs.chans = append(fs.chans, ch)
 	}
 	var first error
-	for _, ch := range fences {
+	for _, ch := range fs.chans {
 		if err := <-ch; err != nil && first == nil {
 			first = err
 		}
+		putFence(ch)
 	}
 	return first
 }
@@ -301,20 +330,27 @@ func (e *tcpEndpoint) Recv() (*msg.Msg, error) {
 // or fence on this peer must fail loudly rather than let callers wait
 // for replies that can never come.
 func (e *tcpEndpoint) writeLoop(p *tcpPeer) {
+	ws := &writeScratch{}
 	for {
 		items, ok := p.q.drain()
 		if len(items) > 0 {
 			err := p.q.err()
 			if err == nil {
-				if err = e.writeBatch(p, items); err != nil {
+				if err = e.writeBatch(p, items, ws); err != nil {
 					p.q.fail(err)
 				}
 			}
+			// The batch is finished (written or failed): satisfy fences
+			// and release owned buffers — this is the explicit release
+			// point for pooled wire buffers handed over via SendOwned —
+			// then recycle the batch's backing storage to the queue.
 			for _, it := range items {
 				if it.fence != nil {
 					it.fence <- err
 				}
+				it.own.Release()
 			}
+			p.q.recycle(items)
 		}
 		if !ok {
 			return
@@ -325,8 +361,8 @@ func (e *tcpEndpoint) writeLoop(p *tcpPeer) {
 // writeBatch emits every message in items as frame envelopes — split
 // only by the msg.MaxFrameMessages cap — issued to the socket as a
 // single vectored write.
-func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
-	frames, shared, err := writeItems(p.conn, items)
+func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem, ws *writeScratch) error {
+	frames, shared, err := writeItems(p.conn, items, ws)
 	if err != nil {
 		if e.net.isClosed() {
 			return ErrClosed
@@ -343,6 +379,25 @@ func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
 	return nil
 }
 
+// writeScratch is one writer goroutine's reusable frame-assembly
+// storage: the frame headers/entry prefixes, the iovec list handed to
+// net.Buffers.WriteTo, and the coalescing-accounting class list. Each
+// drain rebuilds all three from [:0], so the capacities grow to the
+// peer's steady batch shape once and every later drain assembles its
+// vectored write with zero heap allocations.
+type writeScratch struct {
+	hdr    []byte
+	bufs   net.Buffers
+	shared []string
+	// io is the consumable slice header handed to net.Buffers.WriteTo,
+	// which advances it as bytes drain. WriteTo takes its receiver's
+	// address through an interface, so calling it on a stack local
+	// heap-escapes the header — one allocation per drain. Living here
+	// (ws is allocated once per writer) the address is already on the
+	// heap and the write is allocation-free.
+	io net.Buffers
+}
+
 // writeItems is the outbound wire path shared by the loopback harness
 // and the mesh: it lays the batch's messages out as frame envelopes —
 // split only by the msg.MaxFrameMessages cap — and issues them to the
@@ -351,13 +406,13 @@ func (e *tcpEndpoint) writeBatch(p *tcpPeer, items []sendItem) error {
 // goodbye: the queue closes right behind it, and a goodbye-ack's order
 // against data is immaterial). It returns the number of frames emitted
 // and the traffic classes of messages that shared a frame with at
-// least one other (for coalescing accounting); frames is 0 when items
-// held only fences or control words.
-func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, err error) {
-	var (
-		bufs net.Buffers
-		hdr  []byte // backing storage for frame headers and prefixes
-	)
+// least one other (for coalescing accounting; the slice aliases
+// ws.shared and is valid until the next writeItems on the same ws);
+// frames is 0 when items held only fences or control words.
+func writeItems(conn net.Conn, items []sendItem, ws *writeScratch) (frames int, shared []string, err error) {
+	hdr := ws.hdr[:0]
+	bufs := ws.bufs[:0]
+	shared = ws.shared[:0]
 	count, ctrls := 0, 0
 	for _, it := range items {
 		if it.enc != nil {
@@ -375,6 +430,7 @@ func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, e
 				hdr = binary.BigEndian.AppendUint32(hdr, it.ctrl)
 			}
 		}
+		ws.hdr = hdr
 		if _, werr := conn.Write(hdr); werr != nil {
 			return 0, nil, werr
 		}
@@ -387,7 +443,6 @@ func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, e
 	// referenced in place, so the whole batch goes out without copying
 	// payloads.
 	frames = (count + msg.MaxFrameMessages - 1) / msg.MaxFrameMessages
-	hdr = make([]byte, 0, 8*frames+5*count+4*ctrls)
 	i := 0
 	for f := 0; f < frames; f++ {
 		k := count - f*msg.MaxFrameMessages
@@ -432,7 +487,15 @@ func writeItems(conn net.Conn, items []sendItem) (frames int, shared []string, e
 		bufs = append(bufs, hdr[mark:])
 	}
 
-	if _, err := bufs.WriteTo(conn); err != nil {
+	// Store the grown slices back BEFORE the write: WriteTo consumes the
+	// list it is given (advancing both the slice and its elements as
+	// bytes drain), so it gets its own header over the same backing
+	// array while ws keeps the full-capacity storage for the next drain.
+	ws.hdr = hdr
+	ws.bufs = bufs
+	ws.shared = shared
+	ws.io = bufs
+	if _, err := ws.io.WriteTo(conn); err != nil {
 		return 0, nil, err
 	}
 	return frames, shared, nil
@@ -458,8 +521,9 @@ func uvarintLen(n int) int {
 // control word (the mesh goodbye vocabulary) emitted verbatim as a
 // 4-byte length word outside the frame space.
 type sendItem struct {
-	enc   []byte // marshalled message; nil for a fence or control word
-	class string // traffic class, for coalescing accounting
+	enc   []byte          // marshalled message; nil for a fence or control word
+	own   *bufpool.Buffer // pooled buffer backing enc (SendOwned); released by the writer
+	class string          // traffic class, for coalescing accounting
 	fence chan error
 	ctrl  uint32 // control word (> maxFrameLen); 0 for messages/fences
 }
@@ -471,7 +535,8 @@ type sendQueue struct {
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
 	items    []sendItem
-	queued   int // message items only; fences are exempt from the bound
+	free     []sendItem // writer-recycled batch storage; next drain's items
+	queued   int        // message items only; fences are exempt from the bound
 	limit    int
 	closed   bool
 	failed   error       // latched first write error; the peer is dead
@@ -536,10 +601,31 @@ func (q *sendQueue) drain() (items []sendItem, ok bool) {
 		q.notEmpty.Wait()
 	}
 	items = q.items
-	q.items = nil
+	// Double-buffer: senders append into the storage the writer recycled
+	// from the previous batch while the writer processes this one, so
+	// steady-state puts allocate nothing.
+	q.items = q.free
+	q.free = nil
 	q.queued = 0
 	q.notFull.Broadcast()
 	return items, !q.closed || len(items) > 0
+}
+
+// recycle returns a drained batch's backing storage for reuse. The
+// writer calls it only after the batch is fully processed — owners
+// released, fences signalled — and never touches the slice again;
+// clearing drops the buffer/channel references so recycled storage
+// pins nothing.
+func (q *sendQueue) recycle(items []sendItem) {
+	if cap(items) == 0 {
+		return
+	}
+	clear(items)
+	q.mu.Lock()
+	if q.free == nil {
+		q.free = items[:0]
+	}
+	q.mu.Unlock()
 }
 
 func (q *sendQueue) close() {

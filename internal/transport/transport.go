@@ -74,6 +74,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"munin/internal/bufpool"
 	"munin/internal/msg"
 	"munin/internal/stats"
 )
@@ -194,6 +195,22 @@ type Endpoint interface {
 	Recv() (*msg.Msg, error)
 }
 
+// EncodedSender is the zero-copy variant of Endpoint.Send, implemented
+// by the wire transports (TCPNetwork, MeshNetwork). The caller builds
+// the complete marshalled message — msg.HeaderSize reserved bytes
+// stamped with msg.FillHeader, payload behind them — directly in a
+// pooled buffer and hands the buffer over.
+//
+// Ownership transfers unconditionally: whether the enqueue succeeds or
+// fails, the transport is responsible for releasing wb (after the
+// writer's vectored write completes on the success path). The caller
+// must not touch wb or any slice aliasing wb.B after the call. The
+// transport stamps the sender field itself (msg.SetFrom), exactly as
+// Send stamps m.From.
+type EncodedSender interface {
+	SendOwned(wb *bufpool.Buffer) error
+}
+
 // Network connects a fixed set of nodes, 0..Nodes()-1.
 type Network interface {
 	// Endpoint returns node n's endpoint. The same Endpoint is
@@ -304,8 +321,54 @@ func ClassOf(k msg.Kind) string {
 	}
 }
 
+// classBytesOf returns the precomputed "<class>.bytes" counter key for
+// a kind. The obvious ClassOf(k)+".bytes" concatenation allocates on
+// every charge — one of the per-message heap allocations the zero-copy
+// flush path eliminates.
+func classBytesOf(k msg.Kind) string {
+	switch {
+	case k >= msg.KindAppBase:
+		return "app.bytes"
+	case k >= msg.KindSyncBase:
+		return "sync.bytes"
+	case k >= msg.KindIvyBase:
+		return "ivy.bytes"
+	case k >= msg.KindCohBase:
+		return "coherence.bytes"
+	case k >= msg.KindLockBase:
+		return "lock.bytes"
+	default:
+		return "control.bytes"
+	}
+}
+
+// coalescedClassOf returns the precomputed "wire.coalesced.<class>"
+// counter key for a class name produced by ClassOf (same reasoning as
+// classBytesOf: the concatenation is a hot-path allocation).
+func coalescedClassOf(class string) string {
+	switch class {
+	case "app":
+		return "wire.coalesced.app"
+	case "sync":
+		return "wire.coalesced.sync"
+	case "ivy":
+		return "wire.coalesced.ivy"
+	case "coherence":
+		return "wire.coalesced.coherence"
+	case "lock":
+		return "wire.coalesced.lock"
+	default:
+		return "wire.coalesced.control"
+	}
+}
+
 func (s *Stats) charge(m *msg.Msg, cost CostModel, from msg.NodeID) {
-	size := m.WireSize()
+	s.chargeEncoded(m.Kind, m.WireSize(), cost, from)
+}
+
+// chargeEncoded is charge for an already-marshalled buffer: the caller
+// supplies the kind and wire size from the header instead of a Msg.
+func (s *Stats) chargeEncoded(kind msg.Kind, size int, cost CostModel, from msg.NodeID) {
 	s.msgs.Add(1)
 	s.bytes.Add(int64(size))
 	s.modeledNs.Add(cost.Cost(size))
@@ -313,8 +376,8 @@ func (s *Stats) charge(m *msg.Msg, cost CostModel, from msg.NodeID) {
 		s.perNode[from].sent.Add(1)
 		s.perNode[from].sentBytes.Add(int64(size))
 	}
-	s.byClass.Add(ClassOf(m.Kind), 1)
-	s.byClass.Add(ClassOf(m.Kind)+".bytes", int64(size))
+	s.byClass.Add(ClassOf(kind), 1)
+	s.byClass.Add(classBytesOf(kind), int64(size))
 }
 
 // chargeWire records one coalesced wire emission: frames frame
@@ -328,7 +391,7 @@ func (s *Stats) chargeWire(frames int, sharedClasses []string) {
 	if len(sharedClasses) > 0 {
 		s.byClass.Add("wire.coalesced", int64(len(sharedClasses)))
 		for _, c := range sharedClasses {
-			s.byClass.Add("wire.coalesced."+c, 1)
+			s.byClass.Add(coalescedClassOf(c), 1)
 		}
 	}
 }
@@ -401,6 +464,50 @@ func (s *Stats) delivered(to msg.NodeID) {
 func (s *Stats) String() string {
 	return fmt.Sprintf("msgs=%d bytes=%d modeled=%.3fms",
 		s.Messages(), s.Bytes(), float64(s.ModeledNetworkNs())/1e6)
+}
+
+// Fence channel pooling. A flush fences every peer queue with a
+// buffered chan error; allocating those per flush was a steady-state
+// allocation on the hot path. The invariant that makes pooling safe:
+// only a channel that has been RECEIVED from goes back to the pool (the
+// writer's single send has completed and it holds no value). A fence
+// abandoned on an error path is simply dropped — never pooled — so a
+// stale writer send can never leak into a later flush.
+var fencePool sync.Pool
+
+func getFence() chan error {
+	if v := fencePool.Get(); v != nil {
+		return v.(chan error)
+	}
+	return make(chan error, 1)
+}
+
+func putFence(ch chan error) { fencePool.Put(ch) }
+
+// fenceSet is pooled per-flush scratch: the fence channels awaiting
+// receipt and (mesh only) the peer snapshot.
+type fenceSet struct {
+	chans []chan error
+	peers []*meshPeer
+}
+
+var fenceSetPool sync.Pool
+
+func getFenceSet() *fenceSet {
+	if v := fenceSetPool.Get(); v != nil {
+		return v.(*fenceSet)
+	}
+	return &fenceSet{}
+}
+
+// release returns the scratch (not the channels it references — those
+// are pooled individually, and only after being received from).
+func (fs *fenceSet) release() {
+	clear(fs.chans)
+	clear(fs.peers)
+	fs.chans = fs.chans[:0]
+	fs.peers = fs.peers[:0]
+	fenceSetPool.Put(fs)
 }
 
 // recvItem is one unit in a receive queue: a marshalled message, or —

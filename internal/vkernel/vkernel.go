@@ -40,6 +40,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"munin/internal/bufpool"
 	"munin/internal/msg"
 	"munin/internal/stats"
 	"munin/internal/transport"
@@ -339,6 +340,46 @@ func (k *Kernel) callStart(dst msg.NodeID, kind msg.Kind, payload []byte, inline
 	}
 	m := &msg.Msg{Kind: kind, To: dst, Seq: seq, Payload: payload}
 	if err := k.ep.Send(m); err != nil {
+		k.unregister(seq)
+		return nil, err
+	}
+	return p, nil
+}
+
+// CallStartOwned is CallStart for a request already marshalled into a
+// pooled wire buffer: wb.B must hold msg.HeaderSize reserved bytes
+// followed by the complete payload (Builder.Reset + Skip). The kernel
+// assigns the correlation sequence, stamps the header in place
+// (msg.FillHeader), and hands the buffer to the transport's zero-copy
+// enqueue (transport.EncodedSender) — no Marshal copy on the wire
+// transports. Ownership of wb transfers unconditionally: whatever the
+// outcome, the caller must not touch wb afterwards.
+func (k *Kernel) CallStartOwned(dst msg.NodeID, kind msg.Kind, wb *bufpool.Buffer) (*Pending, error) {
+	seq, p, err := k.register([]msg.NodeID{dst}, nil)
+	if err != nil {
+		wb.Release()
+		return nil, err
+	}
+	msg.FillHeader(wb.B, kind, 0, k.node, dst, seq)
+	if es, ok := k.ep.(transport.EncodedSender); ok {
+		if err := es.SendOwned(wb); err != nil { // transport released wb
+			k.unregister(seq)
+			return nil, err
+		}
+		return p, nil
+	}
+	// Loopback transports take a *msg.Msg whose payload they may retain;
+	// copy out of the pooled buffer before releasing it.
+	m, merr := msg.Unmarshal(wb.B)
+	if merr != nil {
+		wb.Release()
+		k.unregister(seq)
+		return nil, merr
+	}
+	cp := *m
+	cp.Payload = append([]byte(nil), m.Payload...)
+	wb.Release()
+	if err := k.ep.Send(&cp); err != nil {
 		k.unregister(seq)
 		return nil, err
 	}
