@@ -16,12 +16,20 @@
 //	                           (core.System over Config.Topology)
 //	E15  flush.wire.ns         steady-state send-wire-path latency
 //	     flush.ns.<k>          end-to-end protocol flush latency (TCP)
+//	E16  lease.write.ns.<k>    lease-engine write latency at K readers
+//	     copyset.write.ns.<k>  directory-baseline write latency
 //
 // E15's flush.allocs metric is gated absolutely, not relatively: the
 // newest trajectory file must report exactly zero steady-state heap
 // allocations on the send wire path. A ratio check cannot express
 // "0 must stay 0", so the allocation gate is separate from the
 // threshold machinery.
+//
+// E16's lease.msgs_per_write.<k> metrics are likewise gated absolutely:
+// the lease engine's whole point is that writer-side messages per write
+// to a read-mostly object do not grow with the number of readers, so
+// the newest file's values must all be equal across K (flat). The
+// directory baseline is linear by design and is not message-gated.
 //
 // Usage: perfdiff [-dir .] [-threshold 0.20]
 //
@@ -58,6 +66,9 @@ func headline(exp, metric string) bool {
 		return strings.HasPrefix(metric, "batched.writes.")
 	case "E15":
 		return metric == "flush.wire.ns" || strings.HasPrefix(metric, "flush.ns.")
+	case "E16":
+		return strings.HasPrefix(metric, "lease.write.ns.") ||
+			strings.HasPrefix(metric, "copyset.write.ns.")
 	}
 	return false
 }
@@ -136,7 +147,7 @@ func main() {
 	fmt.Printf("perfdiff: %s -> %s (threshold %.0f%%)\n", pair[0], pair[1], *threshold*100)
 	regressions := 0
 	compared := 0
-	for _, exp := range []string{"E1", "E10", "E11", "E12", "E14", "E15"} {
+	for _, exp := range []string{"E1", "E10", "E11", "E12", "E14", "E15", "E16"} {
 		oldM, curM := old[exp], cur[exp]
 		if oldM == nil {
 			continue // experiment newer than the older trajectory file
@@ -190,6 +201,47 @@ func main() {
 	} else if old["E15"] != nil {
 		regressions++
 		fmt.Printf("  MISSING    E15: present in %s, absent in %s\n", pair[0], pair[1])
+	}
+	// The fan-out gate is absolute too: lease-engine messages per write
+	// must be FLAT across reader counts in the newest file. Asserting
+	// flatness (max == min) rather than a ratio means 0 -> 0.5 at one K
+	// fails even though no single value "regressed" relatively.
+	if curE16, ok := cur["E16"]; ok {
+		var vals []float64
+		keys := make([]string, 0, len(curE16))
+		for k := range curE16 {
+			if strings.HasPrefix(k, "lease.msgs_per_write.") {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			vals = append(vals, curE16[k])
+		}
+		compared++
+		if len(vals) < 2 {
+			regressions++
+			fmt.Printf("  MISSING    E16 lease.msgs_per_write.<k>: %d reader counts in %s, want >= 2 to assert flatness\n", len(vals), pair[1])
+		} else {
+			lo, hi := vals[0], vals[0]
+			for _, v := range vals {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi > lo {
+				regressions++
+				fmt.Printf("  REGRESSION E16 lease.msgs_per_write: %g..%g across reader counts, want flat (writer fan-out must not grow with readers)\n", lo, hi)
+			} else {
+				fmt.Printf("  ok         E16 lease.msgs_per_write: flat at %g across %d reader counts\n", lo, len(vals))
+			}
+		}
+	} else if old["E16"] != nil {
+		regressions++
+		fmt.Printf("  MISSING    E16: present in %s, absent in %s\n", pair[0], pair[1])
 	}
 	fmt.Printf("perfdiff: %d headline metrics compared, %d regressed\n", compared, regressions)
 	if compared == 0 {

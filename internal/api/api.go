@@ -28,7 +28,10 @@ type System interface {
 	// before Run. The hint is Munin's type-specific annotation; Ivy
 	// ignores it (its coherence is one-size-fits-all, which is the
 	// point of the comparison). opts tunes placement and protocol
-	// details; implementations may ignore fields they have no use for.
+	// details — including, via opts.Engine, which coherence engine
+	// serves the object (Munin's directory machine or the Tardis-style
+	// lease engine for read-mostly data); implementations may ignore
+	// fields they have no use for.
 	Alloc(name string, size int, hint protocol.Annotation, opts protocol.Options, init []byte) RegionID
 	// NewLock, NewBarrier and NewAtomic create distributed
 	// synchronization objects (shared by both systems; Munin §3.3.8).

@@ -299,7 +299,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 17 {
+	if len(results) != 18 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

@@ -40,11 +40,14 @@ const kindMeshDone = msg.KindAppBase + 0x7E
 
 // meshChildConfig is the JSON carried in MUNIN_MESH_CHILD.
 type meshChildConfig struct {
-	Role   string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13), "e14-member" (E14)
-	Topo   transport.Topology `json:"topo"`
-	K      int                `json:"k"`
-	Serial bool               `json:"serial"`
-	Phase  int                `json:"phase,omitempty"` // e13-writer: 1 = doomed incarnation, 2 = rejoin
+	Role    string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13), "e14-member" (E14), "e16-home"/"e16-reader" (E16)
+	Topo    transport.Topology `json:"topo"`
+	K       int                `json:"k"`
+	Serial  bool               `json:"serial"`
+	Phase   int                `json:"phase,omitempty"`   // e13-writer: 1 = doomed incarnation, 2 = rejoin
+	Readers int                `json:"readers,omitempty"` // e16-home: reading members to coordinate
+	Writes  int                `json:"writes,omitempty"`  // e16-home: measured writes
+	Lease   bool               `json:"lease,omitempty"`   // e16: lease engine instead of the copyset baseline
 }
 
 // MeshMetrics is what the writer process measures around its flush.
@@ -104,6 +107,15 @@ func MeshChildMain() bool {
 			enc, _ := json.Marshal(m)
 			fmt.Printf("%s%s\n", meshMetricsPrefix, enc)
 		}
+	case "e16-home":
+		var m E16Metrics
+		m, err = RunE16Home(cfg.Topo, cfg.Readers, cfg.Writes, cfg.Lease, os.Stdout)
+		if err == nil {
+			enc, _ := json.Marshal(m)
+			fmt.Printf("%s%s\n", meshMetricsPrefix, enc)
+		}
+	case "e16-reader":
+		err = RunE16Reader(cfg.Topo)
 	default:
 		err = fmt.Errorf("unknown mesh role %q", cfg.Role)
 	}

@@ -69,6 +69,14 @@ type Config struct {
 	// Reconnect, when non-nil, overrides the topology's
 	// reconnect-after-latch policy (mesh shape only).
 	Reconnect *transport.ReconnectPolicy
+	// ReadMostlyLease routes read-mostly objects through the Tardis-style
+	// lease engine instead of the directory machine: reads are served
+	// from leased local replicas, writes bump a logical version at the
+	// home with no invalidation multicast. Per-object Options.Engine
+	// still overrides. Every SPMD member must set it identically (the
+	// setup digest folds the resolved engine, so divergence fails the
+	// run gate).
+	ReadMostlyLease bool
 }
 
 // System is a running Munin instance. It implements api.System.
@@ -210,9 +218,12 @@ func (s *System) Alloc(name string, size int, hint protocol.Annotation, opts pro
 		// counter advances in program order like everything else.
 		opts.Lock = s.NewLock()
 	}
+	if hint == protocol.ReadMostly && opts.Engine == protocol.EngineDefault && s.cfg.ReadMostlyLease {
+		opts.Engine = protocol.EngineLease
+	}
 	s.recordSetup("alloc", name, size, uint8(hint),
 		int64(opts.Home), uint32(opts.Lock), uint8(opts.Update),
-		opts.Dynamic, opts.ForceReplicated, opts.JoinGap, len(init))
+		opts.Dynamic, opts.ForceReplicated, opts.JoinGap, uint8(opts.Engine), len(init))
 	s.recordSetupRaw(init)
 	meta := protocol.Meta{ID: id, Name: name, Size: size, Annot: hint, Opts: opts}
 	if s.self >= 0 {

@@ -1,0 +1,55 @@
+package msg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLeaseReqRoundTrip(t *testing.T) {
+	for _, q := range []LeaseReq{
+		{Obj: 7, Have: false, Ver: 0},
+		{Obj: 0xFFFF, Have: true, Ver: 1<<63 + 12345},
+	} {
+		got, err := DecodeLeaseReq(q.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", q, err)
+		}
+		if got != q {
+			t.Fatalf("round trip %+v -> %+v", q, got)
+		}
+	}
+}
+
+func TestLeaseGrantRoundTrip(t *testing.T) {
+	full := LeaseGrant{Ver: 42, Data: []byte("fresh bytes")}
+	got, err := DecodeLeaseGrant(full.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ver != 42 || got.Unchanged || !bytes.Equal(got.Data, full.Data) {
+		t.Fatalf("full grant round trip: %+v", got)
+	}
+
+	echo := LeaseGrant{Ver: 42, Unchanged: true}
+	enc := echo.Encode()
+	if len(enc) >= len(full.Encode()) {
+		t.Fatalf("unchanged grant (%dB) not smaller than full grant (%dB)",
+			len(enc), len(full.Encode()))
+	}
+	got, err = DecodeLeaseGrant(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ver != 42 || !got.Unchanged || got.Data != nil {
+		t.Fatalf("unchanged grant round trip: %+v", got)
+	}
+}
+
+func TestLeaseDecodeCorrupt(t *testing.T) {
+	if _, err := DecodeLeaseReq([]byte{1, 2}); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+	if _, err := DecodeLeaseGrant([]byte{9}); err == nil {
+		t.Fatal("truncated grant accepted")
+	}
+}

@@ -21,35 +21,7 @@ import (
 func (n *Node) Read(q *duq.Queue, id memory.ObjectID, off int, buf []byte) {
 	o := n.mustObj(id)
 	checkRange(o, off, len(buf))
-	switch o.meta.Annot {
-	case Private:
-		o.mu.Lock()
-		copy(buf, o.data[off:])
-		o.mu.Unlock()
-	case Migratory:
-		o.mu.Lock()
-		if o.state == Invalid {
-			o.mu.Unlock()
-			panic(fmt.Sprintf("munin: migratory object %q read without holding lock %d",
-				o.meta.Name, o.meta.Opts.Lock))
-		}
-		copy(buf, o.data[off:])
-		o.mu.Unlock()
-	case ReadMostly:
-		n.readMostlyRead(o, off, buf)
-	case Result:
-		n.resultRead(o, off, buf)
-	case ProducerConsumer:
-		n.ensureConsumer(o)
-		o.mu.Lock()
-		copy(buf, o.data[off:])
-		o.mu.Unlock()
-	default: // Conventional, GeneralRW, WriteOnce, WriteMany
-		n.ensureReadable(o)
-		o.mu.Lock()
-		copy(buf, o.data[off:])
-		o.mu.Unlock()
-	}
+	o.eng.read(n, q, o, off, buf)
 	n.C.Add("reads", 1)
 }
 
@@ -59,31 +31,7 @@ func (n *Node) Read(q *duq.Queue, id memory.ObjectID, off int, buf []byte) {
 func (n *Node) Write(q *duq.Queue, id memory.ObjectID, off int, data []byte) {
 	o := n.mustObj(id)
 	checkRange(o, off, len(data))
-	switch o.meta.Annot {
-	case Private:
-		o.mu.Lock()
-		copy(o.data[off:], data)
-		o.mu.Unlock()
-	case Migratory:
-		o.mu.Lock()
-		if o.state == Invalid {
-			o.mu.Unlock()
-			panic(fmt.Sprintf("munin: migratory object %q written without holding lock %d",
-				o.meta.Name, o.meta.Opts.Lock))
-		}
-		copy(o.data[off:], data)
-		o.mu.Unlock()
-	case WriteOnce:
-		n.writeOnceWrite(o, off, data)
-	case WriteMany, Result:
-		n.bufferedWrite(q, o, off, data)
-	case ProducerConsumer:
-		n.producerWrite(q, o, off, data)
-	case ReadMostly:
-		n.readMostlyWrite(o, off, data)
-	default: // Conventional, GeneralRW
-		n.ownershipWrite(o, off, data)
-	}
+	o.eng.write(n, q, o, off, data)
 	n.C.Add("writes", 1)
 }
 
@@ -143,6 +91,12 @@ func (n *Node) FlushQueue(q *duq.Queue) {
 // nothing), so leaving them queued would only make a retry succeed
 // vacuously. The returned error is the loss report.
 func (n *Node) TryFlushQueue(q *duq.Queue) error {
+	// This is the node's synchronization point: every acquire, release,
+	// barrier, atomic and thread exit flushes before proceeding. Bumping
+	// the epoch here — even when the queue is empty — lapses every
+	// lease-engine lease on the node, so the next read of a leased
+	// object revalidates against its home (lease.go).
+	n.syncEpoch.Add(1)
 	if n.serialFlush.Load() {
 		return q.Flush(func(id memory.ObjectID) error {
 			n.flushObject(id)
@@ -1012,6 +966,14 @@ func (n *Node) readMostlyRead(o *Obj, off int, buf []byte) {
 		return
 	}
 	if replicated {
+		o.mu.Lock()
+		miss := o.state == Invalid
+		o.mu.Unlock()
+		if miss {
+			// The copy lapsed (or was never fetched): this read crosses
+			// the wire, like a lease take/refresh does.
+			n.C.Add("rm.remote_reads", 1)
+		}
 		n.ensureReadable(o)
 		o.mu.Lock()
 		copy(buf, o.data[off:])
@@ -1019,6 +981,7 @@ func (n *Node) readMostlyRead(o *Obj, off int, buf []byte) {
 		return
 	}
 	n.C.Add("remote.load", 1)
+	n.C.Add("rm.remote_reads", 1)
 	reply, err := n.k.Call(home, kindRemRead,
 		msg.NewBuilder(12).U32(uint32(o.meta.ID)).Int(off).Int(len(buf)).Bytes())
 	if err != nil {

@@ -121,6 +121,12 @@ type Options struct {
 	// JoinGap folds diff runs separated by at most this many equal
 	// bytes into one span. Default 0 (exact diffs).
 	JoinGap int
+	// Engine selects the coherence engine for this object.
+	// EngineDefault (zero) defers to the node's per-annotation
+	// selection (SetAnnotationEngine), which itself defaults to the
+	// directory engine. EngineLease is valid for read-mostly objects
+	// only.
+	Engine EngineKind
 }
 
 // DefaultOptions returns the zero-configuration options.
@@ -204,6 +210,20 @@ type Obj struct {
 
 	// Read-mostly dynamic mode: true once switched to replication.
 	replicated bool
+
+	// eng is the coherence engine driving this object's Read/Write
+	// faults, resolved at install time (see resolveEngine).
+	eng engine
+
+	// Lease engine state (EngineLease only). The version of the cached
+	// copy, and the node synchronization epoch its lease was granted
+	// under: the lease is live while Node.syncEpoch still equals
+	// leaseEpoch, and lapses — forcing a revalidation on next read —
+	// the moment this node synchronizes. At the home the authoritative
+	// version is applySeq; these fields stay zero there.
+	leaseVer   uint64
+	leaseEpoch uint64
+	leaseValid bool
 }
 
 // Meta returns the object's metadata.
@@ -282,6 +302,17 @@ type Node struct {
 	// path instead of the batched pipeline (see FlushQueue).
 	serialFlush atomic.Bool
 
+	// syncEpoch counts this node's synchronization points: TryFlushQueue
+	// bumps it before draining, so every acquire/release/barrier/atomic
+	// and thread exit advances it. The lease engine binds leases to it —
+	// a lease granted under one epoch lapses at the next sync, which is
+	// exactly when §3.2 requires remote updates to become visible.
+	syncEpoch atomic.Uint64
+
+	// annotEngine is the per-annotation engine selection
+	// (SetAnnotationEngine); the zero value defers to EngineDirectory.
+	annotEngine [GeneralRW + 1]EngineKind
+
 	// Counters feeding the experiments: faults, fetches, updates...
 	C stats.Set
 }
@@ -316,6 +347,8 @@ const (
 	kindModeSw     = msg.KindCohBase + 12 // Send/multicast: dynamic mode switch
 	kindDiffBatch  = msg.KindCohBase + 13 // Call: batched delayed-update diffs for one home
 	kindApplyBatch = msg.KindCohBase + 14 // Call/multicast: batched sequenced refreshes at copies
+	kindLeaseRead  = msg.KindCohBase + 15 // Call: lease take/renew (msg.LeaseReq -> msg.LeaseGrant)
+	kindLeaseWrite = msg.KindCohBase + 16 // Call: lease write-through; reply is the new version
 	kindCohMax     = msg.KindCohBase + 0x1f
 )
 
@@ -393,6 +426,10 @@ func checkAllocArgs(meta Meta, init []byte) []byte {
 	if meta.Size <= 0 {
 		panic(fmt.Sprintf("munin: alloc %q: size must be positive", meta.Name))
 	}
+	if meta.Opts.Engine == EngineLease && meta.Annot != ReadMostly {
+		panic(fmt.Sprintf("munin: alloc %q: lease engine supports read-mostly objects only, not %v",
+			meta.Name, meta.Annot))
+	}
 	if init != nil && len(init) != meta.Size {
 		panic(fmt.Sprintf("munin: alloc %q: init length %d != size %d", meta.Name, len(init), meta.Size))
 	}
@@ -407,6 +444,10 @@ func checkAllocArgs(meta Meta, init []byte) []byte {
 // touch the object. The initial data lives at the object's home;
 // private objects get a full local copy on every node.
 func (n *Node) Alloc(meta Meta, init []byte) {
+	// Resolve the engine before announcing: the announce carries the
+	// resolved kind, so every node installs the same engine no matter
+	// what its own per-annotation selection says.
+	meta.Opts.Engine = n.resolveEngine(&meta)
 	init = checkAllocArgs(meta, init)
 	payload := encodeAlloc(meta, init)
 	// Synchronous install on every node: setup traffic, acked so no
@@ -433,6 +474,7 @@ func (n *Node) Alloc(meta Meta, init []byte) {
 // single-driver path that announces the object to every node of an
 // in-process cluster.
 func (n *Node) InstallLocal(meta Meta, init []byte) {
+	meta.Opts.Engine = n.resolveEngine(&meta)
 	init = checkAllocArgs(meta, init)
 	n.install(meta, init)
 }
@@ -441,7 +483,13 @@ func (n *Node) InstallLocal(meta Meta, init []byte) {
 func (n *Node) install(meta Meta, init []byte) {
 	o := &Obj{meta: meta, pendApply: make(map[uint64][]memory.Span)}
 	o.cond = sync.NewCond(&o.mu)
-	if meta.Annot == ReadMostly && meta.Opts.ForceReplicated {
+	o.eng = engineFor(n.resolveEngine(&meta))
+	// ForceReplicated: a read-mostly object serves reads from local
+	// replicas from the very first access instead of remote load/store
+	// — under the directory engine via the replicated-mode flag, under
+	// the lease engine by construction (every read installs a leased
+	// local copy), so the flag needs no engine-side state there.
+	if meta.Annot == ReadMostly && meta.Opts.ForceReplicated && o.eng.kind() == EngineDirectory {
 		o.replicated = true
 	}
 	home := n.homeOf(&meta)
@@ -539,6 +587,10 @@ func (n *Node) dispatch(k *vkernel.Kernel, req *msg.Msg) {
 		n.handleEvict(req)
 	case kindModeSw:
 		n.handleModeSw(req)
+	case kindLeaseRead:
+		n.handleLeaseRead(req)
+	case kindLeaseWrite:
+		n.handleLeaseWrite(req)
 	}
 }
 
@@ -548,6 +600,7 @@ func encodeAlloc(meta Meta, init []byte) []byte {
 	b.U32(uint32(meta.ID)).Str(meta.Name).Int(meta.Size).U8(uint8(meta.Annot))
 	b.I64(int64(meta.Opts.Home)).U32(uint32(meta.Opts.Lock)).U8(uint8(meta.Opts.Update))
 	b.Bool(meta.Opts.Dynamic).Bool(meta.Opts.ForceReplicated).Int(meta.Opts.JoinGap)
+	b.U8(uint8(meta.Opts.Engine))
 	b.BytesN(init)
 	return b.Bytes()
 }
@@ -565,6 +618,7 @@ func decodeAlloc(p []byte) (Meta, []byte) {
 	meta.Opts.Dynamic = r.Bool()
 	meta.Opts.ForceReplicated = r.Bool()
 	meta.Opts.JoinGap = r.Int()
+	meta.Opts.Engine = EngineKind(r.U8())
 	init := append([]byte(nil), r.BytesN()...)
 	if r.Err() != nil {
 		panic(fmt.Sprintf("munin: corrupt alloc payload: %v", r.Err()))
