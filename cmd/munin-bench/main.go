@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	munin-bench [-nodes N] [-exp F1|T1|E1|...|E16|all] [-json path]
+//	munin-bench [-nodes N] [-exp F1|T1|E1|...|E17|all] [-json path]
 //
 // With -json, every experiment's headline metrics are also written to
 // the given file as a JSON array, so successive runs can be archived as
@@ -112,7 +112,7 @@ func main() {
 		return
 	}
 	nodes := flag.Int("nodes", 4, "number of simulated processors")
-	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E16, or all)")
+	exp := flag.String("exp", "all", "experiment to run (F1, T1, E1..E17, or all)")
 	jsonPath := flag.String("json", "", "write experiment metrics to this file as JSON")
 	node := flag.Int("node", -1, "multi-process mode: this process's node ID")
 	listen := flag.String("listen", "", "multi-process mode: override this node's bind address")
@@ -132,7 +132,7 @@ func main() {
 		"E3": bench.E3, "E4": bench.E4, "E5": bench.E5, "E6": bench.E6,
 		"E7": bench.E7, "E8": bench.E8, "E9": bench.E9, "E10": bench.E10,
 		"E11": bench.E11, "E12": bench.E12, "E13": bench.E13, "E14": bench.E14,
-		"E15": bench.E15, "E16": bench.E16,
+		"E15": bench.E15, "E16": bench.E16, "E17": bench.E17,
 	}
 
 	var results []*bench.Result
@@ -141,7 +141,7 @@ func main() {
 	} else {
 		run, ok := runners[strings.ToUpper(*exp)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E16, or all\n", *exp)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose F1, T1, E1..E17, or all\n", *exp)
 			os.Exit(2)
 		}
 		results = []*bench.Result{run(*nodes)}

@@ -355,6 +355,6 @@ func All(nodes int) []*Result {
 		F1(nodes), T1(nodes), E1(nodes), E2(nodes), E3(nodes),
 		E4(nodes), E5(nodes), E6(nodes), E7(nodes), E8(nodes), E9(nodes),
 		E10(nodes), E11(nodes), E12(nodes), E13(nodes), E14(nodes),
-		E15(nodes), E16(nodes),
+		E15(nodes), E16(nodes), E17(nodes),
 	}
 }

@@ -294,12 +294,44 @@ func TestE14PublicAPIAcrossProcesses(t *testing.T) {
 	}
 }
 
+func TestE17RecoverySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in short mode")
+	}
+	r := E17(3)
+	if len(r.Metrics) == 0 {
+		t.Fatalf("sweep produced no metrics: %v", r.Notes)
+	}
+	for _, cs := range e17Cases() {
+		match, ok := r.Metrics["digest.match."+cs.name]
+		if !ok {
+			t.Errorf("crash point %s produced no digest (notes: %v)", cs.name, r.Notes)
+			continue
+		}
+		if match != 1 {
+			t.Errorf("crash point %s: post-rejoin memory not byte-identical to the uninterrupted run", cs.name)
+		}
+		if got := r.Metrics["reconnects."+cs.name]; got < 1 {
+			t.Errorf("crash point %s: home saw no wire reconnect (%v)", cs.name, got)
+		}
+	}
+	if got := r.Metrics["crash.points"]; got < 4 {
+		t.Errorf("crash-point sweep covers %v named protocol steps, want >= 4", got)
+	}
+	if got := r.Metrics["rejoin.first_read_ms"]; got <= 0 {
+		t.Errorf("rejoin.first_read_ms = %v, want > 0", got)
+	}
+	if got := r.Metrics["rejoin.reprime_msgs"]; got <= 0 {
+		t.Errorf("rejoin.reprime_msgs = %v, want > 0", got)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
 	}
 	results := All(3)
-	if len(results) != 18 {
+	if len(results) != 19 {
 		t.Fatalf("got %d results", len(results))
 	}
 	for _, r := range results {

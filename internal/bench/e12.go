@@ -12,6 +12,7 @@ import (
 	"munin/internal/cluster"
 	"munin/internal/dlock"
 	"munin/internal/duq"
+	"munin/internal/failpoint"
 	"munin/internal/memory"
 	"munin/internal/msg"
 	"munin/internal/netutil"
@@ -40,14 +41,19 @@ const kindMeshDone = msg.KindAppBase + 0x7E
 
 // meshChildConfig is the JSON carried in MUNIN_MESH_CHILD.
 type meshChildConfig struct {
-	Role    string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13), "e14-member" (E14), "e16-home"/"e16-reader" (E16)
-	Topo    transport.Topology `json:"topo"`
-	K       int                `json:"k"`
-	Serial  bool               `json:"serial"`
-	Phase   int                `json:"phase,omitempty"`   // e13-writer: 1 = doomed incarnation, 2 = rejoin
-	Readers int                `json:"readers,omitempty"` // e16-home: reading members to coordinate
-	Writes  int                `json:"writes,omitempty"`  // e16-home: measured writes
-	Lease   bool               `json:"lease,omitempty"`   // e16: lease engine instead of the copyset baseline
+	Role     string             `json:"role"` // "home"/"writer" (E12), "e13-home"/"e13-writer" (E13), "e14-member" (E14), "e16-home"/"e16-reader" (E16), "e17-member" (E17)
+	Topo     transport.Topology `json:"topo"`
+	K        int                `json:"k"`
+	Serial   bool               `json:"serial"`
+	Phase    int                `json:"phase,omitempty"`     // e13-writer: 1 = doomed incarnation, 2 = rejoin
+	Readers  int                `json:"readers,omitempty"`   // e16-home: reading members to coordinate
+	Writes   int                `json:"writes,omitempty"`    // e16-home: measured writes
+	Lease    bool               `json:"lease,omitempty"`     // e16: lease engine instead of the copyset baseline
+	Victim   int                `json:"victim,omitempty"`    // e17: node index that runs the crash-prone role
+	Crash    string             `json:"crash,omitempty"`     // e17: failpoint spec "name[:skip]" armed at startup
+	Recover  bool               `json:"recover,omitempty"`   // e17: rejoining incarnation — run the recovery handshake
+	SkipOut  bool               `json:"skip_body,omitempty"` // e17: rejoin after the barrier passed — skip the body, verify only
+	HoldExit bool               `json:"hold_exit,omitempty"` // e17: park this member's thread at end of body until a stdin line arrives
 }
 
 // MeshMetrics is what the writer process measures around its flush.
@@ -85,6 +91,18 @@ func MeshChildMain() bool {
 		fmt.Fprintf(os.Stderr, "mesh child: bad config: %v\n", err)
 		os.Exit(2)
 	}
+	// Arm the crash failpoint before the role runs so every protocol
+	// step is covered, config first, MUNIN_FAILPOINT as the manual
+	// escape hatch.
+	if cfg.Crash != "" {
+		if err := failpoint.ArmCrash(cfg.Crash); err != nil {
+			fmt.Fprintf(os.Stderr, "mesh child: bad crash spec: %v\n", err)
+			os.Exit(2)
+		}
+	} else if _, err := failpoint.ArmCrashFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "mesh child: %v\n", err)
+		os.Exit(2)
+	}
 	var err error
 	switch cfg.Role {
 	case "home":
@@ -116,6 +134,13 @@ func MeshChildMain() bool {
 		}
 	case "e16-reader":
 		err = RunE16Reader(cfg.Topo)
+	case "e17-member":
+		var m E17Metrics
+		m, err = RunE17Member(cfg, os.Stdout)
+		if err == nil {
+			enc, _ := json.Marshal(m)
+			fmt.Printf("%s%s\n", meshMetricsPrefix, enc)
+		}
 	default:
 		err = fmt.Errorf("unknown mesh role %q", cfg.Role)
 	}

@@ -167,6 +167,30 @@ func RunE13Writer(topo transport.Topology, k, phase int, out *os.File) (err erro
 	defer clu.Close()
 	kern := clu.Kernel(topo.Self)
 
+	// Event wait replacing the old fixed 120s nap: if the harness (the
+	// home's process) dies while we wait to be killed, the transport's
+	// down/gone notifiers fire and we exit promptly instead of leaking
+	// a sleeping process on slow runners.
+	homeLost := make(chan error, 2)
+	noteLost := func(err error) {
+		select {
+		case homeLost <- err:
+		default:
+		}
+	}
+	if pd, ok := clu.Network().(transport.PeerDownNotifier); ok {
+		pd.OnPeerDown(func(peer msg.NodeID, _ uint64, err error) {
+			if peer == 0 {
+				noteLost(err)
+			}
+		})
+	}
+	clu.OnPeerGone(func(peer msg.NodeID, err error) {
+		if peer == 0 {
+			noteLost(err)
+		}
+	})
+
 	echoServed := make(chan struct{})
 	var echoOnce bool
 	kern.Handle(kindE13Echo, kindE13Echo, func(k *vkernel.Kernel, req *msg.Msg) {
@@ -201,10 +225,15 @@ func RunE13Writer(topo transport.Topology, k, phase int, out *os.File) (err erro
 		case <-time.After(60 * time.Second):
 			return fmt.Errorf("the home never parked a call in us")
 		}
-		// Wait for the kill; the deadline only keeps a broken harness
-		// from leaking this process forever.
-		time.Sleep(120 * time.Second)
-		return fmt.Errorf("phase 1 writer was never killed")
+		// Wait for the kill. A healthy round SIGKILLs us here; the
+		// event arm fires if the home died instead (broken harness),
+		// and the deadline is only the last-resort leak guard.
+		select {
+		case lost := <-homeLost:
+			return fmt.Errorf("phase 1 writer: home lost while awaiting the kill: %v", lost)
+		case <-time.After(120 * time.Second):
+			return fmt.Errorf("phase 1 writer was never killed")
+		}
 	}
 
 	// Phase 2: the flush above already succeeded over the rejoined

@@ -1,0 +1,503 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"munin/internal/api"
+	"munin/internal/cluster"
+	"munin/internal/core"
+	"munin/internal/dlock"
+	"munin/internal/failpoint"
+	"munin/internal/msg"
+	"munin/internal/netutil"
+	"munin/internal/protocol"
+	"munin/internal/stats"
+	"munin/internal/transport"
+)
+
+// E17 is the recovery experiment: a three-member SPMD mesh program is
+// run with one member SIGKILLed at a chosen protocol step (a failpoint
+// armed inside the doomed process, or a parent-driven kill while its
+// gate arrival is parked on node 0), then restarted under the same node
+// ID with Config.Recover. The rejoining incarnation replays the
+// recovery handshake — re-announce allocations, resync the run-gate
+// sequence, re-prime replicas lazily through the ordinary fault path —
+// and the experiment's oracle is differential: every member's digest of
+// every shared byte must equal the digest of the identical program run
+// uninterrupted in one process. The headline metrics are the rejoin
+// cost: wall-clock from the restarted process's first Run to its first
+// completed (valid) read, and the wire messages the rejoin consumed.
+//
+// The crash points cover the protocol steps named by the failpoint
+// package — a flush that was planned but not sent, a flush fully sent,
+// a lock grant received but not recorded, a lock held inside the
+// critical section, a member parked at the run gate — plus the
+// stale-arrival case the failpoints cannot reach (killed after its
+// exit-gate arrival was parked on node 0, exercising the gate's
+// stale-arrival purge).
+
+// E17Metrics is what each member process measures and reports.
+type E17Metrics struct {
+	K           int     `json:"k"`
+	Self        int     `json:"self"`
+	Digest      uint64  `json:"digest"`                  // this member's digest of every shared byte
+	FirstReadMs float64 `json:"first_read_ms,omitempty"` // recovering member: first Run to first completed read
+	RejoinMsgs  int64   `json:"rejoin_msgs,omitempty"`   // recovering member: wire messages across the whole rejoin
+	Reconnects  int64   `json:"reconnects,omitempty"`    // wire.reconnects seen by this member
+	Recovered   int64   `json:"recovered,omitempty"`     // member.recovered (peers whose announce this member served)
+}
+
+// e17BodyDoneLine is printed by the doomed incarnation when its program
+// body (including the digest sweep) has completed — the cue for the
+// parent to kill it parked at the exit gate.
+const e17BodyDoneLine = "E17BODYDONE"
+
+// e17Value is the deterministic value member m stores in its i-th
+// object; determinism is what makes a partial pre-crash flush plus an
+// identical redo byte-equal to the uninterrupted run.
+func e17Value(m, i int) uint64 {
+	return uint64(m+1)*0x9e3779b97f4a7c15 + uint64(i)*0x100000001b3 + 0xA5
+}
+
+// e17CSValue is the value written inside the critical section.
+const e17CSValue = 0xC0FFEE5EED
+
+// e17HomedLock allocates locks until one homes on node 0: the victim
+// must never be a lock home, or its crash would take the lock state
+// with it (crashed-home recovery is out of scope — see ARCHITECTURE).
+// The loop is deterministic, so every SPMD member allocates the same
+// sequence.
+func e17HomedLock(sys *core.System, members int) dlock.LockID {
+	for {
+		l := sys.NewLock()
+		if cluster.HomeOf(uint64(l), members) == 0 {
+			return l
+		}
+	}
+}
+
+// e17HomedBarrier is the same discipline for the barrier.
+func e17HomedBarrier(sys *core.System, members int) dlock.BarrierID {
+	for {
+		b := sys.NewBarrier()
+		if cluster.HomeOf(uint64(b), members) == 0 {
+			return b
+		}
+	}
+}
+
+// e17Recover carries the recovering incarnation's measurement state.
+type e17Recover struct {
+	start       time.Time
+	msgs0       int64
+	firstReadMs float64
+}
+
+// e17Program is the program under test, identical in every shape. Each
+// member owns K disjoint write-many objects (all homed on node 0, the
+// surviving home): it primes and writes them with deterministic values,
+// the victim member additionally acquires a node-0-homed lock and
+// writes the critical-section object, and after a barrier every member
+// digests every shared byte. skipBody is the rejoin shape for crashes
+// past the barrier: the body already ran to completion in the dead
+// incarnation, so the fresh one goes straight to the digest sweep.
+func e17Program(sys *core.System, k, members, victim int, skipBody bool,
+	hold chan struct{}, mark io.Writer, rec *e17Recover) (E17Metrics, error) {
+	const objSize = 64
+	opts := protocol.DefaultOptions()
+	opts.Home = 0
+	regions := make([][]api.RegionID, members)
+	for m := 0; m < members; m++ {
+		regions[m] = make([]api.RegionID, k)
+		for i := 0; i < k; i++ {
+			regions[m][i] = sys.Alloc(fmt.Sprintf("rc%d_%d", m, i), objSize, protocol.WriteMany, opts, nil)
+		}
+	}
+	cs := sys.Alloc("rc_cs", objSize, protocol.WriteMany, opts, nil)
+	bar := e17HomedBarrier(sys, members)
+	lck := e17HomedLock(sys, members)
+
+	met := E17Metrics{K: k, Self: sys.Self()}
+	digests := make([]uint64, members)
+	err := sys.RunErr(members, func(c api.Ctx) {
+		me := c.ThreadID()
+		var b8 [8]byte
+		if rec != nil && me == victim {
+			// The recovering member's first read: it must serve current
+			// bytes (never the dead incarnation's), and its latency from
+			// the rejoin Run is the headline recovery cost.
+			c.Read(regions[me][0], 0, b8[:])
+			rec.firstReadMs = float64(time.Since(rec.start).Microseconds()) / 1000
+		}
+		if !skipBody {
+			for _, r := range regions[me] {
+				c.Read(r, 0, b8[:]) // prime, so the flush cost is isolated
+			}
+			for i, r := range regions[me] {
+				api.WriteU64(c, r, 0, e17Value(me, i))
+			}
+			if me == victim {
+				c.Acquire(lck)
+				api.WriteU64(c, cs, 0, e17CSValue)
+				c.Release(lck)
+			}
+			c.Barrier(bar, members)
+		}
+		full := make([]byte, objSize)
+		sum := uint64(14695981039346656037)
+		mix := func(r api.RegionID) {
+			c.Read(r, 0, full)
+			for _, bb := range full {
+				sum ^= uint64(bb)
+				sum *= 1099511628211
+			}
+		}
+		for m := 0; m < members; m++ {
+			for _, r := range regions[m] {
+				mix(r)
+			}
+		}
+		mix(cs)
+		digests[me] = sum
+		if mark != nil && me == victim {
+			fmt.Fprintln(mark, e17BodyDoneLine)
+		}
+		if hold != nil && me != victim {
+			<-hold // parent-gated exit: keeps the exit gate open past the kill
+		}
+	})
+	if err != nil {
+		return met, err
+	}
+	if self := sys.Self(); self >= 0 {
+		met.Digest = digests[self] // mesh: only the local thread ran
+	} else {
+		for m := 1; m < members; m++ {
+			if digests[m] != digests[0] {
+				return met, fmt.Errorf("in-process digests disagree: thread %d %016x vs thread 0 %016x",
+					m, digests[m], digests[0])
+			}
+		}
+		met.Digest = digests[0]
+	}
+	return met, nil
+}
+
+// RunE17Member runs one member of the E17 mesh program from its child
+// config. Non-victim members print READY once their listener is bound;
+// the doomed victim incarnation prints the body-done cue instead (only
+// reached when no failpoint fires first).
+func RunE17Member(cfg meshChildConfig, out *os.File) (E17Metrics, error) {
+	topo := cfg.Topo
+	sys, err := core.New(core.Config{Topology: &topo, Recover: cfg.Recover})
+	if err != nil {
+		return E17Metrics{}, err
+	}
+	defer sys.Close()
+	self := int(topo.Self)
+	if self != cfg.Victim && out != nil {
+		fmt.Fprintln(out, meshReadyLine)
+	}
+	var hold chan struct{}
+	if cfg.HoldExit {
+		hold = make(chan struct{})
+		go func() {
+			sc := bufio.NewScanner(os.Stdin)
+			sc.Scan()
+			close(hold)
+		}()
+	}
+	var mark io.Writer
+	if self == cfg.Victim && !cfg.Recover && out != nil {
+		mark = out
+	}
+	var rec *e17Recover
+	if cfg.Recover {
+		rec = &e17Recover{start: time.Now(), msgs0: sys.Messages()}
+	}
+	m, err := e17Program(sys, cfg.K, topo.Nodes(), cfg.Victim, cfg.SkipOut, hold, mark, rec)
+	if err != nil {
+		return m, err
+	}
+	if rec != nil {
+		m.FirstReadMs = rec.firstReadMs
+		m.RejoinMsgs = sys.Messages() - rec.msgs0
+	}
+	m.Reconnects = sys.Stats().WireReconnects()
+	m.Recovered = sys.NodeCounters(self)["member.recovered"]
+	return m, nil
+}
+
+// runE17InProcess runs the identical program uninterrupted in one
+// process: the differential oracle every post-crash digest must match.
+func runE17InProcess(k, members, victim int) (E17Metrics, error) {
+	sys, err := core.New(core.Config{Nodes: members})
+	if err != nil {
+		return E17Metrics{}, err
+	}
+	defer sys.Close()
+	return e17Program(sys, k, members, victim, false, nil, nil, nil)
+}
+
+// e17Case names one crash point of the sweep.
+type e17Case struct {
+	name  string
+	crash string // failpoint spec armed in the doomed incarnation; "" = parent kills it parked at the exit gate
+	skip  bool   // the barrier passed before the crash: the rejoin skips the body and only verifies
+}
+
+// e17Cases is the crash-point sweep: one case per named protocol step,
+// plus the stale-arrival case only a parent-driven kill can reach.
+func e17Cases() []e17Case {
+	return []e17Case{
+		{"mid-flush-planned", failpoint.FlushPlanned, false},
+		{"mid-flush-sent", failpoint.FlushSent, false},
+		{"mid-grant", failpoint.LockGranted, false},
+		{"holding-lock", failpoint.LockHeld, false},
+		{"parked-in-run-gate", failpoint.GatePark + ":1", true},
+		{"parked-arrival", "", true},
+	}
+}
+
+// spawnE17Child is spawnMeshChild plus a stdin pipe, so the parent can
+// release a HoldExit member after the kill.
+func spawnE17Child(cfg meshChildConfig) (*exec.Cmd, *bufio.Scanner, io.WriteCloser, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	enc, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "MUNIN_MESH_CHILD="+string(enc))
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, nil, err
+	}
+	return cmd, bufio.NewScanner(out), stdin, nil
+}
+
+// e17Round runs one crash-point round: spawn the survivors, spawn the
+// doomed victim incarnation, let it die (failpoint crash or parent
+// kill), respawn it with Config.Recover, and collect every member's
+// metrics. The victim must not be node 0: node 0 is the surviving home
+// of every object, lock and barrier, and the run-gate rendezvous.
+func e17Round(k, members, victimID int, cs e17Case) (vic E17Metrics, surv map[int]E17Metrics, err error) {
+	addrs, err := netutil.ReserveAddrs(members)
+	if err != nil {
+		return vic, surv, err
+	}
+	policy := transport.ReconnectPolicy{Enabled: true, Backoff: 25 * time.Millisecond}
+	topoFor := func(self int) transport.Topology {
+		peers := make(map[msg.NodeID]string, members)
+		for i := 0; i < members; i++ {
+			peers[msg.NodeID(i)] = addrs[i]
+		}
+		return transport.Topology{Self: msg.NodeID(self), Peers: peers, Reconnect: policy}
+	}
+
+	type child struct {
+		cmd   *exec.Cmd
+		out   *bufio.Scanner
+		stdin io.WriteCloser
+	}
+	var survivors []int
+	for i := 0; i < members; i++ {
+		if i != victimID {
+			survivors = append(survivors, i)
+		}
+	}
+	procs := make(map[int]*child, members)
+	defer func() {
+		for _, c := range procs {
+			c.stdin.Close()
+			c.cmd.Process.Kill()
+			c.cmd.Wait()
+		}
+	}()
+	for _, idx := range survivors {
+		cfg := meshChildConfig{
+			Role: "e17-member", Topo: topoFor(idx), K: k, Victim: victimID,
+			HoldExit: cs.crash == "" && idx != 0,
+		}
+		cmd, out, stdin, err := spawnE17Child(cfg)
+		if err != nil {
+			return vic, surv, err
+		}
+		procs[idx] = &child{cmd, out, stdin}
+		if _, err := scanForPrefix(cmd, out, meshReadyLine, 20*time.Second); err != nil {
+			return vic, surv, fmt.Errorf("member %d: %w", idx, err)
+		}
+	}
+
+	// The doomed incarnation.
+	p1, out1, stdin1, err := spawnE17Child(meshChildConfig{
+		Role: "e17-member", Topo: topoFor(victimID), K: k, Victim: victimID, Crash: cs.crash,
+	})
+	if err != nil {
+		return vic, surv, err
+	}
+	stdin1.Close()
+	if cs.crash == "" {
+		// Parked-arrival mode: wait for the body-done cue, give the exit
+		// arrival time to park on node 0, then kill. The held survivors
+		// keep the gate open, so the kill provably lands while the dead
+		// incarnation's arrival is parked.
+		if _, err := scanForPrefix(p1, out1, e17BodyDoneLine, 60*time.Second); err != nil {
+			return vic, surv, fmt.Errorf("victim body: %w", err)
+		}
+		time.Sleep(300 * time.Millisecond)
+		p1.Process.Kill()
+	}
+	watchdog := time.AfterFunc(60*time.Second, func() { p1.Process.Kill() })
+	werr := p1.Wait()
+	fired := watchdog.Stop()
+	if werr == nil {
+		return vic, surv, fmt.Errorf("victim (%s) exited cleanly; the crash never fired", cs.name)
+	}
+	if !fired {
+		return vic, surv, fmt.Errorf("victim (%s) hung instead of crashing; killed by watchdog", cs.name)
+	}
+	for out1.Scan() { // a dead victim must never have reported results
+		if strings.HasPrefix(out1.Text(), meshMetricsPrefix) {
+			return vic, surv, fmt.Errorf("victim (%s) printed metrics before dying", cs.name)
+		}
+	}
+	if cs.crash == "" {
+		// Release the held survivors only now: their exit-gate arrivals
+		// must find the stale arrival already purged.
+		for _, idx := range survivors {
+			if idx != 0 {
+				fmt.Fprintln(procs[idx].stdin, "GO")
+			}
+		}
+	}
+
+	// The recovered incarnation.
+	p2, out2, stdin2, err := spawnE17Child(meshChildConfig{
+		Role: "e17-member", Topo: topoFor(victimID), K: k, Victim: victimID,
+		Recover: true, SkipOut: cs.skip,
+	})
+	if err != nil {
+		return vic, surv, err
+	}
+	defer func() {
+		stdin2.Close()
+		p2.Process.Kill()
+		p2.Wait()
+	}()
+
+	parse := func(line string) (E17Metrics, error) {
+		var m E17Metrics
+		err := json.Unmarshal([]byte(strings.TrimPrefix(line, meshMetricsPrefix)), &m)
+		return m, err
+	}
+	line, err := scanForPrefix(p2, out2, meshMetricsPrefix, 60*time.Second)
+	if err != nil {
+		return vic, surv, fmt.Errorf("recovered victim: %w", err)
+	}
+	if vic, err = parse(line); err != nil {
+		return vic, surv, fmt.Errorf("recovered victim metrics: %w", err)
+	}
+	surv = make(map[int]E17Metrics, len(survivors))
+	for _, idx := range survivors {
+		line, err := scanForPrefix(procs[idx].cmd, procs[idx].out, meshMetricsPrefix, 60*time.Second)
+		if err != nil {
+			return vic, surv, fmt.Errorf("member %d: %w", idx, err)
+		}
+		if surv[idx], err = parse(line); err != nil {
+			return vic, surv, fmt.Errorf("member %d metrics: %w", idx, err)
+		}
+	}
+	if err := p2.Wait(); err != nil {
+		return vic, surv, fmt.Errorf("recovered victim exit: %w", err)
+	}
+	for _, idx := range survivors {
+		if err := procs[idx].cmd.Wait(); err != nil {
+			return vic, surv, fmt.Errorf("member %d exit: %w", idx, err)
+		}
+	}
+	return vic, surv, nil
+}
+
+// e17RoundRetry absorbs the preassigned-port bind race by retrying.
+func e17RoundRetry(k, members, victimID int, cs e17Case) (vic E17Metrics, surv map[int]E17Metrics, err error) {
+	for attempt := 0; attempt < 3; attempt++ {
+		vic, surv, err = e17Round(k, members, victimID, cs)
+		if err == nil {
+			return vic, surv, nil
+		}
+	}
+	return vic, surv, err
+}
+
+// E17 runs the recovery experiment. The nodes argument is ignored: the
+// scenario is fixed at three members (a surviving home, a surviving
+// bystander, and the victim).
+func E17(nodes int) *Result {
+	const (
+		k        = 8
+		members  = 3
+		victimID = 1
+	)
+	tab := stats.NewTable("E17: SIGKILL + rejoin at every protocol step — recovery converges to byte-identical memory",
+		"crash point", "digest match", "1st read ms", "rejoin msgs", "home reconnects")
+	res := &Result{ID: "E17", Table: tab, Metrics: map[string]float64{}}
+
+	want, err := runE17InProcess(k, members, victimID)
+	if err != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf("in-process oracle failed: %v", err))
+		return res
+	}
+	points := map[string]bool{}
+	for _, cs := range e17Cases() {
+		vic, surv, err := e17RoundRetry(k, members, victimID, cs)
+		if err != nil {
+			res.Notes = append(res.Notes, fmt.Sprintf("%s failed: %v", cs.name, err))
+			continue
+		}
+		match := 1.0
+		if vic.Digest != want.Digest {
+			match = 0.0
+		}
+		for _, m := range surv {
+			if m.Digest != want.Digest {
+				match = 0.0
+			}
+		}
+		tab.AddRow(cs.name, match, fmt.Sprintf("%.2f", vic.FirstReadMs), vic.RejoinMsgs, surv[0].Reconnects)
+		res.Metrics["digest.match."+cs.name] = match
+		res.Metrics["reconnects."+cs.name] = float64(surv[0].Reconnects)
+		if cs.crash != "" {
+			points[strings.SplitN(cs.crash, ":", 2)[0]] = true
+		}
+		if cs.name == "mid-flush-sent" {
+			res.Metrics["rejoin.first_read_ms"] = vic.FirstReadMs
+			res.Metrics["rejoin.reprime_msgs"] = float64(vic.RejoinMsgs)
+		}
+	}
+	res.Metrics["crash.points"] = float64(len(points))
+	res.Notes = append(res.Notes,
+		"oracle: every member's post-rejoin digest of every shared byte equals the digest of the identical program run uninterrupted in one process — deterministic values make a partial pre-crash flush plus an identical redo byte-equal",
+		"the crash points are the failpoint package's named protocol steps (flush planned, flush sent, lock granted, lock held, parked at the run gate) plus the parked-arrival kill only the parent can stage",
+		"rejoin cost is lazy: the handshake itself is one announce per surviving peer plus one gate resync; replicas re-prime through the ordinary read-fault path, so rejoin msgs scales with what the program actually touches",
+		"out of scope (documented in ARCHITECTURE): a crashed home, a crashed node 0, and crashes outside a Run window")
+	return res
+}

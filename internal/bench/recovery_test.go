@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestRecoveryCrashPoints is the table-driven recovery proof: one
+// subtest per crash point, each killing the victim member at a named
+// protocol step, rejoining it with Config.Recover, and asserting the
+// differential oracle — every member's post-rejoin digest of every
+// shared byte equals the digest of the identical program run
+// uninterrupted in one process. e17Round itself asserts the crash
+// actually happened (the doomed incarnation must die abnormally and
+// must not have reported results).
+func TestRecoveryCrashPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in short mode")
+	}
+	const (
+		k       = 4
+		members = 3
+		victim  = 1
+	)
+	want, err := runE17InProcess(k, members, victim)
+	if err != nil {
+		t.Fatalf("in-process oracle: %v", err)
+	}
+	for _, cs := range e17Cases() {
+		cs := cs
+		t.Run(cs.name, func(t *testing.T) {
+			vic, surv, err := e17RoundRetry(k, members, victim, cs)
+			if err != nil {
+				t.Fatalf("round: %v", err)
+			}
+			if vic.Digest != want.Digest {
+				t.Errorf("recovered victim digest %016x != uninterrupted-run digest %016x",
+					vic.Digest, want.Digest)
+			}
+			for idx, m := range surv {
+				if m.Digest != want.Digest {
+					t.Errorf("survivor %d digest %016x != uninterrupted-run digest %016x",
+						idx, m.Digest, want.Digest)
+				}
+				if m.Recovered < 1 {
+					t.Errorf("survivor %d served no recovery announce (member.recovered = %d)", idx, m.Recovered)
+				}
+			}
+			if surv[0].Reconnects < 1 {
+				t.Errorf("home saw no wire reconnect (wire.reconnects = %d)", surv[0].Reconnects)
+			}
+			if vic.FirstReadMs <= 0 {
+				t.Errorf("recovering member reported no first-read latency (%v ms)", vic.FirstReadMs)
+			}
+			if vic.RejoinMsgs <= 0 {
+				t.Errorf("recovering member reported no rejoin messages (%d)", vic.RejoinMsgs)
+			}
+		})
+	}
+}
+
+// TestRecoveryChaos is the randomized schedule: a seeded (and logged,
+// for replay) sequence of kill/rejoin rounds over the three-member mesh
+// workload, varying the victim, the crash point and the working-set
+// size, each round held to the same differential oracle. Replay a
+// failure with MUNIN_CHAOS_SEED=<seed from the log>.
+func TestRecoveryChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses; skipped in short mode")
+	}
+	seed := time.Now().UnixNano()
+	if env := os.Getenv("MUNIN_CHAOS_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("MUNIN_CHAOS_SEED: %v", err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed: %d (replay with MUNIN_CHAOS_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	const (
+		members = 3
+		iters   = 4
+	)
+	cases := e17Cases()
+	oracle := map[int]uint64{} // k -> uninterrupted-run digest
+	for i := 0; i < iters; i++ {
+		cs := cases[rng.Intn(len(cases))]
+		victim := 1 + rng.Intn(members-1) // never node 0, the surviving home
+		k := 1 + rng.Intn(8)
+		t.Logf("iter %d: crash=%s victim=%d k=%d", i, cs.name, victim, k)
+		want, ok := oracle[k]
+		if !ok {
+			m, err := runE17InProcess(k, members, victim)
+			if err != nil {
+				t.Fatalf("iter %d: in-process oracle: %v", i, err)
+			}
+			want = m.Digest
+			oracle[k] = want
+		}
+		vic, surv, err := e17RoundRetry(k, members, victim, cs)
+		if err != nil {
+			t.Fatalf("iter %d (crash=%s victim=%d k=%d): %v", i, cs.name, victim, k, err)
+		}
+		if vic.Digest != want {
+			t.Errorf("iter %d (crash=%s victim=%d k=%d): recovered digest %016x != oracle %016x",
+				i, cs.name, victim, k, vic.Digest, want)
+		}
+		for idx, m := range surv {
+			if m.Digest != want {
+				t.Errorf("iter %d (crash=%s victim=%d k=%d): survivor %d digest %016x != oracle %016x",
+					i, cs.name, victim, k, idx, m.Digest, want)
+			}
+		}
+	}
+}

@@ -69,6 +69,15 @@ type Config struct {
 	// Reconnect, when non-nil, overrides the topology's
 	// reconnect-after-latch policy (mesh shape only).
 	Reconnect *transport.ReconnectPolicy
+	// Recover marks this process as the restarted incarnation of a
+	// member rejoining a running cluster (mesh shape only, requires an
+	// enabled reconnect policy, and node 0 — the gate rendezvous —
+	// cannot recover). The member's first Run replaces its enter gate
+	// with the recovery handshake: re-announce allocations to every
+	// peer, resync the run-gate sequence with node 0, and only then
+	// unblock shared-memory access (reads re-prime lazily via the
+	// ordinary fault path). See internal/protocol/recovery.go.
+	Recover bool
 	// ReadMostlyLease routes read-mostly objects through the Tardis-style
 	// lease engine instead of the directory machine: reads are served
 	// from leased local replicas, writes bump a logical version at the
@@ -109,6 +118,19 @@ type System struct {
 	gateMu    sync.Mutex
 	gates     map[uint64]*gateInfo
 	lostPeers map[msg.NodeID]error
+	// downPeers are members whose wire died while a reconnect policy
+	// is enabled: presumed to be restarting, so parked gates wait for
+	// their recovered incarnation instead of failing (gatePeerDown).
+	// Also under gateMu.
+	downPeers map[msg.NodeID]error
+
+	// recoverable is set in mesh shape when the reconnect policy is
+	// enabled: a crashed peer may come back, so gates wait out an
+	// outage instead of failing.
+	recoverable bool
+	// recoverPending arms the recovery handshake: the first Run of a
+	// Config.Recover member consumes it (see RunErr).
+	recoverPending atomic.Bool
 
 	threadSeq atomic.Int64
 }
@@ -121,6 +143,9 @@ var _ api.System = (*System)(nil)
 func New(cfg Config) (*System, error) {
 	if cfg.Topology != nil {
 		return newMeshMember(cfg)
+	}
+	if cfg.Recover {
+		return nil, fmt.Errorf("munin: Config.Recover requires mesh shape (Config.Topology)")
 	}
 	clu, err := cluster.New(cluster.Config{
 		Nodes: cfg.Nodes, Transport: cfg.Transport, Cost: cfg.Cost,
@@ -142,6 +167,18 @@ func New(cfg Config) (*System, error) {
 // service and protocol server, with departure-aware membership pruning
 // and the run-gate handler wired up.
 func newMeshMember(cfg Config) (*System, error) {
+	rp := cfg.Topology.Reconnect
+	if cfg.Reconnect != nil {
+		rp = *cfg.Reconnect
+	}
+	if cfg.Recover {
+		if !rp.Enabled {
+			return nil, fmt.Errorf("munin: Config.Recover requires an enabled reconnect policy")
+		}
+		if cfg.Topology.Self == 0 {
+			return nil, fmt.Errorf("munin: node 0 (the run-gate rendezvous) cannot recover")
+		}
+	}
 	clu, err := cluster.New(cluster.Config{
 		Topology: cfg.Topology, Reconnect: cfg.Reconnect, Cost: cfg.Cost,
 	})
@@ -150,11 +187,20 @@ func newMeshMember(cfg Config) (*System, error) {
 	}
 	self := cfg.Topology.Self
 	s := newSystem(cfg, clu, self, cfg.Topology.Nodes())
+	s.recoverable = rp.Enabled
 	k := clu.Kernel(self)
 	ls := dlock.NewService(k)
 	node := protocol.NewNode(k, ls)
 	s.locks[self] = ls
 	s.nodes[self] = node
+	// The run gate verifies every member's setup digest; a rejoining
+	// member's recovery announce is verified against the same digest
+	// (protocol.handleRecover).
+	node.SetSetupDigest(func() (uint64, int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.setupSum, s.setupN
+	})
 	// A member that departs cleanly (goodbye) is pruned from this
 	// member's directory copy sets, producer/consumer caches, and
 	// home-side lock queues, so a clean leave stops costing one failed
@@ -165,12 +211,29 @@ func newMeshMember(cfg Config) (*System, error) {
 		ls.PeerGone(peer)
 		s.gatePeerLost(peer, err)
 	})
+	// Wire death is terminal only without a reconnect policy: with one
+	// enabled, the peer is presumed to be restarting, so gates wait
+	// out the outage (gatePeerDown) and a completed rejoin handshake
+	// clears the down mark (gatePeerBack) before any frame from the
+	// fresh connection arrives.
 	if pd, ok := clu.Network().(transport.PeerDownNotifier); ok {
 		pd.OnPeerDown(func(peer msg.NodeID, _ uint64, err error) {
-			s.gatePeerLost(peer, err)
+			s.gatePeerDown(peer, err)
 		})
 	}
-	k.Handle(kindRunGate, kindRunGate, s.handleRunGate)
+	if pr, ok := clu.Network().(transport.PeerReconnectNotifier); ok {
+		pr.OnPeerReconnect(func(peer msg.NodeID, _ uint64) {
+			s.gatePeerBack(peer)
+		})
+	}
+	if cfg.Recover {
+		// Block shared-memory access until the recovery handshake in
+		// the first Run completes — a recovering member must never
+		// serve pre-crash bytes.
+		node.BeginRecovery()
+		s.recoverPending.Store(true)
+	}
+	k.Handle(kindRunGate, kindGateSync, s.dispatchGate)
 	return s, nil
 }
 
@@ -315,11 +378,41 @@ func (s *System) RunErr(nthreads int, body func(c api.Ctx)) error {
 		threads.SPMD(s.nnodes, nthreads, s.cfg.Placement, run)
 		return nil
 	}
-	if err := s.runGate(nthreads); err != nil {
+	if s.recoverPending.CompareAndSwap(true, false) {
+		// A recovering member's first Run replaces its enter gate with
+		// the recovery handshake: the survivors' matching enter gate
+		// completed long ago (with this member's dead incarnation),
+		// and the gate resync aligns this process's sequence so its
+		// exit arrival pairs with theirs.
+		if err := s.recover(); err != nil {
+			return err
+		}
+	} else if err := s.runGate(nthreads); err != nil {
 		return err
 	}
 	threads.SPMDLocal(s.self, s.nnodes, nthreads, s.cfg.Placement, run)
 	return s.runGate(nthreads)
+}
+
+// recover replays the recovery handshake for a Config.Recover member:
+// re-announce this member's allocations to every peer (each survivor
+// verifies them against its own and rebuilds its copy sets, ownership
+// and lock queues for this node), resync the run-gate sequence with
+// node 0, and release the blocked shared-memory accessors. Replicas
+// re-prime lazily afterwards via the ordinary read-fault path.
+func (s *System) recover() error {
+	node := s.nodes[s.self]
+	s.mu.Lock()
+	sum, n := s.setupSum, s.setupN
+	s.mu.Unlock()
+	if err := node.RecoverAnnounce(sum, n); err != nil {
+		return err
+	}
+	if err := s.resyncGate(); err != nil {
+		return err
+	}
+	node.FinishRecovery()
+	return nil
 }
 
 // Messages implements api.System. In mesh shape the count covers this

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"munin/internal/failpoint"
 	"munin/internal/msg"
 	"munin/internal/vkernel"
 )
@@ -29,6 +30,12 @@ import (
 // kindRunGate is the SPMD run-gate rendezvous message (a Call to node
 // 0; the reply is the release + verdict).
 const kindRunGate = msg.KindSyncBase + 1
+
+// kindGateSync is a recovering member's gate resync (a Call to node 0
+// carrying its setup digest; the reply is a verdict plus the gate
+// sequence the member must adopt so its next arrival pairs with the
+// survivors' — see handleGateSync).
+const kindGateSync = msg.KindSyncBase + 2
 
 // Gate verdict codes carried in the reply.
 const (
@@ -136,6 +143,10 @@ func (s *System) runGate(nthreads int) error {
 
 	if s.self != 0 {
 		payload := msg.NewBuilder(32).U64(seq).U64(arr.sum).Int(arr.n).Int(arr.nthreads).Bytes()
+		// The member is about to park in the gate (the Call blocks
+		// until node 0's verdict): a crash here dies at — or parked in
+		// — the rendezvous.
+		failpoint.Hit(failpoint.GatePark)
 		reply, err := s.clu.Kernel(s.self).Call(0, kindRunGate, payload)
 		if err != nil {
 			return fmt.Errorf("munin: run gate %d: %w", seq, err)
@@ -220,6 +231,78 @@ func (s *System) progressGateLocked(seq uint64, g *gateInfo) {
 	s.completeGateIfReady(seq, g)
 }
 
+// gatePeerDown handles a peer's wire death. Without a reconnect policy
+// the outage is terminal — delegate to gatePeerLost, which fails every
+// parked and future gate. With one, the peer is presumed to be
+// restarting: record it as down (gates simply stay parked — they
+// cannot fill until the recovered incarnation arrives) and let the
+// rejoin handshake clear the mark. Runs on transport goroutines; must
+// not block.
+func (s *System) gatePeerDown(peer msg.NodeID, cause error) {
+	if !s.recoverable {
+		s.gatePeerLost(peer, cause)
+		return
+	}
+	s.gateMu.Lock()
+	if s.downPeers == nil {
+		s.downPeers = make(map[msg.NodeID]error)
+	}
+	if _, dup := s.downPeers[peer]; !dup {
+		s.downPeers[peer] = cause
+	}
+	// Purge the dead incarnation's parked arrivals right away: its
+	// pending Calls died with the connection, so counting one toward a
+	// gate could complete the gate without the member — survivors would
+	// sail on while the recovered incarnation parks at a gate nobody
+	// else will ever reach. The gate resync purges again defensively.
+	purged := int64(0)
+	for _, g := range s.gates {
+		kept := g.reqs[:0]
+		for _, pr := range g.reqs {
+			if pr.From == peer {
+				purged++
+				continue
+			}
+			kept = append(kept, pr)
+		}
+		g.reqs = kept
+	}
+	s.gateMu.Unlock()
+	if n := s.nodes[s.self]; n != nil {
+		n.C.Add("member.down_wait", 1)
+		if purged > 0 {
+			n.C.Add("gate.stale_purged", purged)
+		}
+	}
+}
+
+// gatePeerBack clears a peer's down (and lost) mark once its wire is
+// re-established — fired by the transport's reconnect notifier before
+// any frame from the fresh connection is dispatched, so by the time
+// the recovered member's announce or gate arrival comes in, this
+// member no longer considers it missing.
+func (s *System) gatePeerBack(peer msg.NodeID) {
+	s.gateMu.Lock()
+	delete(s.downPeers, peer)
+	delete(s.lostPeers, peer)
+	s.gateMu.Unlock()
+	if n := s.nodes[s.self]; n != nil {
+		n.C.Add("member.reconnected", 1)
+	}
+}
+
+// dispatchGate routes the gate-range messages (kindRunGate and
+// kindGateSync). Registered on the self kernel of every mesh member;
+// only node 0 ever receives either.
+func (s *System) dispatchGate(k *vkernel.Kernel, req *msg.Msg) {
+	switch req.Kind {
+	case kindRunGate:
+		s.handleRunGate(k, req)
+	case kindGateSync:
+		s.handleGateSync(req)
+	}
+}
+
 // handleRunGate parks a remote member's arrival and completes the gate
 // once everyone — including this process's own program — has reached
 // it. Registered on the self kernel of every mesh member; only node 0
@@ -295,4 +378,92 @@ func (s *System) completeGateIfReady(seq uint64, g *gateInfo) {
 		k.Reply(req, payload)
 	}
 	g.localRes <- verdict
+}
+
+// handleGateSync serves a recovering member's gate resync on node 0:
+// verify its setup digest (the recovered incarnation re-ran the same
+// setup code, so any difference is divergence), forget it from the
+// down/lost sets, purge its dead incarnation's parked gate arrivals
+// (their pending calls died with the old connection; replying would
+// address a call the new process never made), and reply the gate
+// sequence it must adopt. The sequence is chosen so the member's NEXT
+// arrival pairs with the survivors': the earliest gate still parked
+// here minus one, or node 0's own current sequence when nothing is
+// parked.
+func (s *System) handleGateSync(req *msg.Msg) {
+	r := msg.NewReader(req.Payload)
+	sum := r.U64()
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	peer := req.From
+	s.mu.Lock()
+	mySum, myN, mySeq := s.setupSum, s.setupN, s.gateSeq
+	s.mu.Unlock()
+	k := s.clu.Kernel(s.self)
+	if sum != mySum || n != myN {
+		detail := fmt.Sprintf("node %d: %d setup records (digest %016x) vs node 0: %d (digest %016x)",
+			peer, n, sum, myN, mySum)
+		k.Reply(req, msg.NewBuilder(8+len(detail)).U8(gateDivergence).Str(detail).Bytes())
+		return
+	}
+	s.gateMu.Lock()
+	delete(s.downPeers, peer)
+	delete(s.lostPeers, peer)
+	next := mySeq
+	for seq, g := range s.gates {
+		kept := g.reqs[:0]
+		for _, pr := range g.reqs {
+			if pr.From == peer {
+				continue // stale arrival from the dead incarnation
+			}
+			kept = append(kept, pr)
+		}
+		g.reqs = kept
+		if seq-1 < next {
+			next = seq - 1
+		}
+	}
+	s.gateMu.Unlock()
+	if node := s.nodes[s.self]; node != nil {
+		node.C.Add("recover.gate_synced", 1)
+	}
+	k.Reply(req, msg.NewBuilder(16).U8(gateOK).U64(next).Bytes())
+}
+
+// resyncGate is the recovering member's side of the gate resync: send
+// our setup digest to node 0, adopt the gate sequence it replies, so
+// this process's next runGate arrival matches the gate the survivors
+// are (or will be) parked at.
+func (s *System) resyncGate() error {
+	s.mu.Lock()
+	sum, n := s.setupSum, s.setupN
+	s.mu.Unlock()
+	payload := msg.NewBuilder(24).U64(sum).Int(n).Bytes()
+	reply, err := s.clu.Kernel(s.self).Call(0, kindGateSync, payload)
+	if err != nil {
+		return fmt.Errorf("munin: gate resync: %w", err)
+	}
+	r := msg.NewReader(reply.Payload)
+	code := r.U8()
+	if code != gateOK {
+		detail := r.Str()
+		if r.Err() != nil {
+			return fmt.Errorf("munin: gate resync: corrupt verdict: %v", r.Err())
+		}
+		if code == gateDivergence {
+			return &SetupDivergenceError{Detail: detail}
+		}
+		return fmt.Errorf("munin: gate resync: %s", detail)
+	}
+	next := r.U64()
+	if r.Err() != nil {
+		return fmt.Errorf("munin: gate resync: corrupt verdict: %v", r.Err())
+	}
+	s.mu.Lock()
+	s.gateSeq = next
+	s.mu.Unlock()
+	s.nodes[s.self].C.Add("recover.gate_resync", 1)
+	return nil
 }

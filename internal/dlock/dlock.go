@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"munin/internal/cluster"
+	"munin/internal/failpoint"
 	"munin/internal/msg"
 	"munin/internal/vkernel"
 )
@@ -264,6 +265,9 @@ func (s *Service) Acquire(id LockID) {
 				s.localAcquires++
 			}
 			s.mu.Unlock()
+			// The lock is held: the member is inside the critical
+			// section.
+			failpoint.Hit(failpoint.LockHeld)
 			return
 		}
 		if p.owner && p.held {
@@ -283,6 +287,10 @@ func (s *Service) Acquire(id LockID) {
 				panic(fmt.Sprintf("dlock: acquire lock %d: %v", id, err))
 			}
 			_, data := decodeLockPayload(reply.Payload)
+			// The home's grant has arrived but ownership is not yet
+			// recorded: a member dying here leaves the home believing
+			// it owns the lock.
+			failpoint.Hit(failpoint.LockGranted)
 
 			p.mu.Lock()
 			p.owner = true
@@ -354,6 +362,38 @@ func (s *Service) surrenderLocked(id LockID, p *proxy) {
 // Counters (on the kernel's set): dlock.gone_dequeued (queued grants
 // dropped), dlock.gone_owner (owned locks force-released).
 func (s *Service) PeerGone(peer msg.NodeID) {
+	dequeued, released := s.resetPeer(peer)
+	if dequeued > 0 {
+		s.k.C.Add("dlock.gone_dequeued", dequeued)
+	}
+	if released > 0 {
+		s.k.C.Add("dlock.gone_owner", released)
+	}
+}
+
+// PeerRecovered rebuilds this home's lock state for a peer whose
+// restarted incarnation is rejoining (protocol recovery): the dead
+// incarnation's queued grant requests are dropped — their pending
+// calls died with its connection — and a lock it still held is
+// force-released to the next waiter, exactly like a departing owner's.
+// The fresh incarnation re-enters queues via ordinary acquires.
+//
+// Counters: dlock.recover_dequeued, dlock.recover_owner.
+func (s *Service) PeerRecovered(peer msg.NodeID) {
+	dequeued, released := s.resetPeer(peer)
+	if dequeued > 0 {
+		s.k.C.Add("dlock.recover_dequeued", dequeued)
+	}
+	if released > 0 {
+		s.k.C.Add("dlock.recover_owner", released)
+	}
+}
+
+// resetPeer drops peer from every lock queue this node homes and
+// force-releases any lock peer owned, granting it to the next queued
+// waiter. Shared by PeerGone (clean departure) and PeerRecovered
+// (crashed incarnation rejoining).
+func (s *Service) resetPeer(peer msg.NodeID) (dequeued, released int64) {
 	s.mu.Lock()
 	type idHome struct {
 		id LockID
@@ -365,7 +405,6 @@ func (s *Service) PeerGone(peer msg.NodeID) {
 	}
 	s.mu.Unlock()
 
-	var dequeued, released int64
 	for _, ih := range homes {
 		h := ih.h
 		h.mu.Lock()
@@ -403,12 +442,7 @@ func (s *Service) PeerGone(peer msg.NodeID) {
 			}
 		}
 	}
-	if dequeued > 0 {
-		s.k.C.Add("dlock.gone_dequeued", dequeued)
-	}
-	if released > 0 {
-		s.k.C.Add("dlock.gone_owner", released)
-	}
+	return dequeued, released
 }
 
 // dispatch routes lock-service messages.

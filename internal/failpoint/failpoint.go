@@ -1,0 +1,172 @@
+// Package failpoint provides named, injectable crash points threaded
+// through the protocol's hot paths (flush, lock grant, run gate).
+//
+// A failpoint is a named place in the code where a test can arrange
+// for something to happen — typically killing the process outright to
+// simulate a crash at exactly that protocol step. Production code
+// calls Hit(name) at each step; when nothing is armed this is a single
+// atomic load, so the hooks are free in steady state.
+//
+// Crash specs take the form "name" or "name:skip", where skip is the
+// number of hits to let pass before firing (so a test can crash on the
+// second flush, or at the exit run gate rather than the entry one).
+// Child processes arm themselves from the MUNIN_FAILPOINT environment
+// variable at startup, which is how the bench harness reaches into a
+// re-exec'd member.
+package failpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Named protocol steps. Each constant marks one place in the protocol
+// where a member can die mid-operation and the cluster must recover.
+const (
+	// FlushPlanned fires after a flush has been planned (diffs taken,
+	// batches grouped) but before anything is sent: the delayed update
+	// queue has been drained, yet no home has seen a byte.
+	FlushPlanned = "flush.planned"
+	// FlushSent fires after the flush batches have been written and
+	// fenced but before the settle acknowledgements are awaited: homes
+	// may hold partial state from a writer that then dies.
+	FlushSent = "flush.sent"
+	// LockGranted fires on the requester after a distributed lock
+	// grant reply arrives but before the requester records ownership.
+	LockGranted = "lock.granted"
+	// LockHeld fires on the requester immediately after it takes the
+	// lock, i.e. the member dies inside the critical section.
+	LockHeld = "lock.held"
+	// GatePark fires just before a member parks in the run gate
+	// (sends its arrival to node 0 and blocks on the verdict).
+	GatePark = "gate.park"
+)
+
+var (
+	// armed counts the currently armed points; Hit is a single atomic
+	// load when it is zero.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+type point struct {
+	skip int32 // hits to let pass before firing
+	fn   func()
+}
+
+// Hit marks that execution reached the named step. If a hook is armed
+// for it and its skip count is exhausted, the hook fires (once) and
+// the point disarms. Hit is safe for concurrent use and costs one
+// atomic load when nothing is armed.
+func Hit(name string) {
+	if armed.Load() == 0 {
+		return
+	}
+	var fn func()
+	mu.Lock()
+	if p, ok := points[name]; ok {
+		if p.skip > 0 {
+			p.skip--
+		} else {
+			fn = p.fn
+			delete(points, name)
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Arm installs fn at the named point, replacing any previous hook
+// there. The first skip hits pass through untouched; the next hit
+// fires fn and disarms the point.
+func Arm(name string, skip int, fn func()) {
+	mu.Lock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{skip: int32(skip), fn: fn}
+	mu.Unlock()
+}
+
+// Disarm removes any hook at the named point.
+func Disarm(name string) {
+	mu.Lock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// DisarmAll removes every armed hook.
+func DisarmAll() {
+	mu.Lock()
+	for name := range points {
+		delete(points, name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// crashSelf kills the current process with SIGKILL semantics: no
+// deferred cleanup, no goodbye message, indistinguishable from an
+// external kill -9.
+func crashSelf() {
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		os.Exit(137)
+	}
+	_ = p.Kill()
+	// Kill is asynchronous on some platforms; never return from a
+	// crash point.
+	select {}
+}
+
+// ArmCrash parses a "name" or "name:skip" spec and arms a
+// self-SIGKILL at that point.
+func ArmCrash(spec string) error {
+	name, skip := spec, 0
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name = spec[:i]
+		n, err := strconv.Atoi(spec[i+1:])
+		if err != nil || n < 0 {
+			return fmt.Errorf("failpoint: bad skip in spec %q", spec)
+		}
+		skip = n
+	}
+	if name == "" {
+		return fmt.Errorf("failpoint: empty name in spec %q", spec)
+	}
+	Arm(name, skip, crashSelf)
+	return nil
+}
+
+// EnvVar is the environment variable child processes read at startup
+// to arm a crash point injected by a parent test harness.
+const EnvVar = "MUNIN_FAILPOINT"
+
+// ArmCrashFromEnv arms a crash point from the MUNIN_FAILPOINT
+// environment variable, if set. It returns the spec armed (empty if
+// none).
+func ArmCrashFromEnv() (string, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return "", nil
+	}
+	if err := ArmCrash(spec); err != nil {
+		return "", err
+	}
+	return spec, nil
+}

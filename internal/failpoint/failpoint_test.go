@@ -1,0 +1,82 @@
+package failpoint
+
+import "testing"
+
+func TestHitDisarmedIsNoop(t *testing.T) {
+	// Nothing armed: must not panic, must stay free.
+	Hit(FlushPlanned)
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed = %d after no-op hit, want 0", got)
+	}
+}
+
+func TestArmFiresOnceAndDisarms(t *testing.T) {
+	fired := 0
+	Arm(LockHeld, 0, func() { fired++ })
+	Hit(LockHeld)
+	Hit(LockHeld)
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1 (one-shot)", fired)
+	}
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed = %d after firing, want 0", got)
+	}
+}
+
+func TestSkipCount(t *testing.T) {
+	fired := 0
+	Arm(GatePark, 2, func() { fired++ })
+	Hit(GatePark)
+	Hit(GatePark)
+	if fired != 0 {
+		t.Fatalf("hook fired during skip window")
+	}
+	Hit(GatePark)
+	if fired != 1 {
+		t.Fatalf("hook fired %d times after skip window, want 1", fired)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	fired := 0
+	Arm(FlushSent, 0, func() { fired++ })
+	Disarm(FlushSent)
+	Hit(FlushSent)
+	if fired != 0 {
+		t.Fatalf("hook fired after Disarm")
+	}
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed = %d after Disarm, want 0", got)
+	}
+}
+
+func TestArmReplacesWithoutLeakingCount(t *testing.T) {
+	Arm(LockGranted, 0, func() {})
+	Arm(LockGranted, 0, func() {})
+	if got := armed.Load(); got != 1 {
+		t.Fatalf("armed = %d after re-arming same point, want 1", got)
+	}
+	DisarmAll()
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed = %d after DisarmAll, want 0", got)
+	}
+}
+
+func TestArmCrashSpecParsing(t *testing.T) {
+	// Arm with a harmless hook by parsing the spec ourselves through
+	// ArmCrash would install crashSelf; instead verify the error cases
+	// and that a good spec arms something.
+	for _, bad := range []string{"", ":1", "flush.sent:x", "flush.sent:-1"} {
+		if err := ArmCrash(bad); err == nil {
+			DisarmAll()
+			t.Fatalf("ArmCrash(%q) = nil error, want error", bad)
+		}
+	}
+	if err := ArmCrash("flush.sent:3"); err != nil {
+		t.Fatalf("ArmCrash: %v", err)
+	}
+	if got := armed.Load(); got != 1 {
+		t.Fatalf("armed = %d after ArmCrash, want 1", got)
+	}
+	DisarmAll()
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"munin/internal/bufpool"
+	"munin/internal/failpoint"
 	"munin/internal/memory"
 	"munin/internal/msg"
 	"munin/internal/vkernel"
@@ -19,6 +20,7 @@ import (
 // protocols observe the thread's own buffered writes, which live in the
 // local copy already — reads never flush).
 func (n *Node) Read(q *duq.Queue, id memory.ObjectID, off int, buf []byte) {
+	n.awaitRecovered()
 	o := n.mustObj(id)
 	checkRange(o, off, len(buf))
 	o.eng.read(n, q, o, off, buf)
@@ -29,6 +31,7 @@ func (n *Node) Read(q *duq.Queue, id memory.ObjectID, off int, buf []byte) {
 // coherence protocol. Loose protocols (write-many, result) buffer the
 // update in q until the thread's next synchronization point.
 func (n *Node) Write(q *duq.Queue, id memory.ObjectID, off int, data []byte) {
+	n.awaitRecovered()
 	o := n.mustObj(id)
 	checkRange(o, off, len(data))
 	o.eng.write(n, q, o, off, data)
@@ -246,6 +249,10 @@ func (n *Node) flushBatched(fs *flushScratch) error {
 	if work == 0 {
 		return nil
 	}
+	// The flush is fully planned (diffs taken, batches grouped) but
+	// nothing has been handed to the wire yet: a member dying here
+	// loses the whole drained dirty set.
+	failpoint.Hit(failpoint.FlushPlanned)
 	if work > 1 {
 		n.C.Add("flush.pipelined", 1)
 	}
@@ -324,6 +331,9 @@ func (n *Node) flushBatched(fs *flushScratch) error {
 	if err := n.k.Flush(); err != nil && !isShutdown(err) {
 		noteErr(err)
 	}
+	// Batches are on the wire but not yet acknowledged: a member dying
+	// here leaves homes holding whatever frames made it out intact.
+	failpoint.Hit(failpoint.FlushSent)
 	if len(local) > 0 {
 		// Local flush at the home: the home copy already holds the
 		// bytes; just run the home-side merge + redistribution.

@@ -38,7 +38,26 @@ import (
 // entries removed), member.reclaimed_owner (exclusive ownerships taken
 // back by the home).
 func (n *Node) PeerGone(peer msg.NodeID) {
-	var copies, consumers, owners int64
+	copies, consumers, owners := n.prunePeer(peer)
+	n.C.Add("member.gone", 1)
+	if copies > 0 {
+		n.C.Add("member.pruned_copies", copies)
+	}
+	if consumers > 0 {
+		n.C.Add("member.pruned_consumers", consumers)
+	}
+	if owners > 0 {
+		n.C.Add("member.reclaimed_owner", owners)
+	}
+}
+
+// prunePeer removes peer from every directory entry's copy set,
+// producer slot, and cached consumer set, and reclaims any exclusive
+// ownership it held. It is the shared mechanism behind PeerGone (a
+// clean departure took its copies with it) and PeerRecovered (a
+// restarted incarnation comes back with empty state, so every record
+// of its old copies is stale and must go before it re-primes lazily).
+func (n *Node) prunePeer(peer msg.NodeID) (copies, consumers, owners int64) {
 	for i := range n.stripes {
 		s := &n.stripes[i]
 		s.mu.Lock()
@@ -92,16 +111,7 @@ func (n *Node) PeerGone(peer msg.NodeID) {
 			o.mu.Unlock()
 		}
 	}
-	n.C.Add("member.gone", 1)
-	if copies > 0 {
-		n.C.Add("member.pruned_copies", copies)
-	}
-	if consumers > 0 {
-		n.C.Add("member.pruned_consumers", consumers)
-	}
-	if owners > 0 {
-		n.C.Add("member.reclaimed_owner", owners)
-	}
+	return copies, consumers, owners
 }
 
 // isGone reports whether err is a clean peer departure. Update relays

@@ -313,6 +313,21 @@ type Node struct {
 	// (SetAnnotationEngine); the zero value defers to EngineDirectory.
 	annotEngine [GeneralRW + 1]EngineKind
 
+	// Recovery gate (recovery.go): a member constructed to rejoin an
+	// existing cluster blocks application reads and writes until its
+	// recovery handshake completes, so it can never serve pre-crash
+	// bytes. recovering is a single atomic load on the hot path;
+	// recoverCh is closed by FinishRecovery to release the waiters.
+	recovering atomic.Bool
+	recoverCh  chan struct{}
+
+	// setupDigest, when set (SetSetupDigest), lets handleRecover
+	// verify a rejoining member's announced setup digest against this
+	// member's own — SPMD members allocate identically, so any
+	// difference is program divergence.
+	digestMu    sync.Mutex
+	setupDigest func() (sum uint64, n int)
+
 	// Counters feeding the experiments: faults, fetches, updates...
 	C stats.Set
 }
@@ -349,6 +364,7 @@ const (
 	kindApplyBatch = msg.KindCohBase + 14 // Call/multicast: batched sequenced refreshes at copies
 	kindLeaseRead  = msg.KindCohBase + 15 // Call: lease take/renew (msg.LeaseReq -> msg.LeaseGrant)
 	kindLeaseWrite = msg.KindCohBase + 16 // Call: lease write-through; reply is the new version
+	kindRecover    = msg.KindCohBase + 17 // Call: rejoined member re-announces its allocations (recovery.go)
 	kindCohMax     = msg.KindCohBase + 0x1f
 )
 
@@ -591,6 +607,8 @@ func (n *Node) dispatch(k *vkernel.Kernel, req *msg.Msg) {
 		n.handleLeaseRead(req)
 	case kindLeaseWrite:
 		n.handleLeaseWrite(req)
+	case kindRecover:
+		n.handleRecover(req)
 	}
 }
 

@@ -118,12 +118,13 @@ type MeshNetwork struct {
 	ln    net.Listener
 	ep    *meshEndpoint
 
-	mu     sync.Mutex
-	peers  map[msg.NodeID]*meshPeer
-	conns  map[net.Conn]struct{} // every installed connection, for Close's teardown sweep
-	onDown []func(msg.NodeID, uint64, error)
-	onGone []func(msg.NodeID, error)
-	closed bool
+	mu       sync.Mutex
+	peers    map[msg.NodeID]*meshPeer
+	conns    map[net.Conn]struct{} // every installed connection, for Close's teardown sweep
+	onDown   []func(msg.NodeID, uint64, error)
+	onGone   []func(msg.NodeID, error)
+	onReconn []func(msg.NodeID, uint64)
+	closed   bool
 
 	closeCh   chan struct{} // closed when Leave/Close begins; wakes reconnect loops
 	leaveOnce sync.Once
@@ -224,6 +225,27 @@ func (m *MeshNetwork) OnPeerGone(fn func(peer msg.NodeID, err error)) {
 	m.mu.Lock()
 	m.onGone = append(m.onGone, fn)
 	m.mu.Unlock()
+}
+
+// OnPeerReconnect implements PeerReconnectNotifier. Callbacks run on
+// the transport goroutine that completed the rejoin handshake, before
+// any frame from the fresh connection is dispatched.
+func (m *MeshNetwork) OnPeerReconnect(fn func(peer msg.NodeID, epoch uint64)) {
+	m.mu.Lock()
+	m.onReconn = append(m.onReconn, fn)
+	m.mu.Unlock()
+}
+
+// notifyReconnect fires the reconnect callbacks for a revived pair.
+// It must be called before the new connection's reader starts so
+// subscribers finish rebuilding state ahead of the peer's first frame.
+func (m *MeshNetwork) notifyReconnect(peer msg.NodeID, epoch uint64) {
+	m.mu.Lock()
+	cbs := append([]func(msg.NodeID, uint64){}, m.onReconn...)
+	m.mu.Unlock()
+	for _, cb := range cbs {
+		cb(peer, epoch)
+	}
 }
 
 // PeerEpoch implements PeerEpochs: the current connection epoch agreed
@@ -619,6 +641,7 @@ func (m *MeshNetwork) handleInbound(conn net.Conn) {
 
 	if rejoin {
 		m.stats.byClass.Add("wire.reconnects", 1)
+		m.notifyReconnect(p.node, agreed)
 	}
 	if old != nil {
 		old.Close()
@@ -807,6 +830,7 @@ func (m *MeshNetwork) reconnectLoop(p *meshPeer) {
 		p.resetAck()
 		p.mu.Unlock()
 		m.stats.byClass.Add("wire.reconnects", 1)
+		m.notifyReconnect(p.node, agreed)
 		m.startReader(p, conn)
 		return
 	}

@@ -1051,4 +1051,111 @@ func TestMeshGoodbyeRejoinGoodbyeCycle(t *testing.T) {
 	}
 }
 
+// TestMeshReconnectNotifyFiresBeforeTraffic: OnPeerReconnect fires
+// exactly once per rejoin — on whichever side completes the handshake
+// — with the fresh epoch, strictly before any frame from the new
+// connection is dispatched. Protocol recovery keys off this ordering:
+// state for the returning peer is rebuilt before its first message.
+func TestMeshReconnectNotifyFiresBeforeTraffic(t *testing.T) {
+	addrs := reserveAddrs(t, 2)
+	fake, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMeshNetwork(Topology{
+		Self:  0,
+		Peers: map[msg.NodeID]string{0: addrs[0], 1: addrs[1]},
+		// MaxAttempts 1 so the inbound-rejoin phase below isn't raced
+		// by a background re-dial.
+		Reconnect: ReconnectPolicy{Enabled: true, MaxAttempts: 1, Backoff: 10 * time.Millisecond},
+	}, CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	type reconn struct {
+		peer  msg.NodeID
+		epoch uint64
+	}
+	reconnCh := make(chan reconn, 4)
+	m.OnPeerReconnect(func(peer msg.NodeID, epoch uint64) {
+		reconnCh <- reconn{peer, epoch}
+	})
+	downCh := make(chan msg.NodeID, 4)
+	m.OnPeerDown(func(peer msg.NodeID, epoch uint64, err error) { downCh <- peer })
+
+	if err := m.Endpoint(0).Send(&msg.Msg{Kind: msg.KindPing, To: 1, Payload: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	conn1, _ := acceptWithHello(t, fake, 0)
+	if got := readWireMsg(t, conn1); string(got.Payload) != "one" {
+		t.Fatalf("got %v", got)
+	}
+	select {
+	case r := <-reconnCh:
+		t.Fatalf("notifier fired on first connect: %+v", r)
+	default:
+	}
+
+	// Outage 1: wire death, then the background re-dial revives the
+	// pair (this side dials out).
+	conn1.Close()
+	select {
+	case <-downCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never latched down")
+	}
+	conn2, epoch2 := acceptWithHello(t, fake, 0)
+	if epoch2 != 2 {
+		t.Fatalf("re-dial proposed epoch %d, want 2", epoch2)
+	}
+	select {
+	case r := <-reconnCh:
+		if r.peer != 1 || r.epoch != 2 {
+			t.Fatalf("re-dial notify = %+v, want peer 1 epoch 2", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("notifier never fired after re-dial reconnect")
+	}
+
+	// Outage 2: the peer "crashes" (listener gone) and a restarted
+	// incarnation dials IN from scratch. The accept path must notify
+	// before the accepted connection's reader delivers anything.
+	fake.Close()
+	conn2.Close()
+	select {
+	case <-downCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer never latched down after second outage")
+	}
+	var conn3 net.Conn
+	var verdict byte
+	var agreed uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn3, verdict, agreed = dialWithHello(t, m.Addr(), 1, 1)
+		if verdict == helloAccept {
+			break
+		}
+		conn3.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("rejoin dial never accepted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer conn3.Close()
+	select {
+	case r := <-reconnCh:
+		if r.peer != 1 || r.epoch != agreed {
+			t.Fatalf("rejoin notify = %+v, want peer 1 epoch %d", r, agreed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("notifier never fired after inbound rejoin")
+	}
+	if got := m.Stats().WireReconnects(); got != 2 {
+		t.Fatalf("wire.reconnects = %d, want 2", got)
+	}
+}
+
 var _ = fmt.Sprint // keep fmt for debugging edits

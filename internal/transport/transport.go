@@ -130,6 +130,20 @@ type PeerDownNotifier interface {
 	OnPeerDown(fn func(peer msg.NodeID, epoch uint64, err error))
 }
 
+// PeerReconnectNotifier is implemented by transports that can revive
+// a latched pair (MeshNetwork under a ReconnectPolicy). The callback
+// fires once per successful rejoin — whichever side completes the
+// epoch-bumped handshake — strictly before any frame from the new
+// connection is delivered, so subscribers can rebuild protocol state
+// for the returning peer ahead of its first message.
+type PeerReconnectNotifier interface {
+	// OnPeerReconnect registers fn to be invoked when a previously
+	// latched peer's wire is re-established. epoch is the fresh
+	// connection generation (always greater than the one that died).
+	// fn runs on a transport goroutine and must not block.
+	OnPeerReconnect(fn func(peer msg.NodeID, epoch uint64))
+}
+
 // PeerGoneNotifier is implemented by transports that distinguish a
 // deliberate departure (goodbye frame) from wire death (MeshNetwork).
 // The callback fires on the receiving endpoint's Recv path, strictly
