@@ -64,38 +64,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"munin/internal/perfgate"
 )
 
 type benchResult struct {
 	ID      string             `json:"id"`
 	Metrics map[string]float64 `json:"metrics"`
-}
-
-// headline reports whether a metric is one of the guarded
-// lower-is-better counters.
-func headline(exp, metric string) bool {
-	switch exp {
-	case "E1":
-		return strings.HasPrefix(metric, "munin.") && strings.HasSuffix(metric, ".msgs")
-	case "E10":
-		return strings.HasPrefix(metric, "batched.")
-	case "E11", "E12", "E14":
-		return strings.HasPrefix(metric, "batched.writes.")
-	case "E15":
-		return metric == "flush.wire.ns" || strings.HasPrefix(metric, "flush.ns.")
-	case "E16":
-		return strings.HasPrefix(metric, "lease.write.ns.") ||
-			strings.HasPrefix(metric, "copyset.write.ns.")
-	case "E17":
-		return metric == "rejoin.first_read_ms" || metric == "rejoin.reprime_msgs"
-	}
-	return false
-}
-
-// timeBased reports whether a metric is a wall-clock measurement
-// (nanoseconds or milliseconds) rather than a deterministic count.
-func timeBased(metric string) bool {
-	return strings.Contains(metric, ".ns") || strings.HasSuffix(metric, "_ms")
 }
 
 // load reads one trajectory file into exp -> metric -> value.
@@ -174,14 +149,14 @@ func main() {
 		pair[0], pair[1], *threshold*100, *timeThreshold*100)
 	regressions := 0
 	compared := 0
-	for _, exp := range []string{"E1", "E10", "E11", "E12", "E14", "E15", "E16", "E17"} {
+	for _, exp := range perfgate.Experiments() {
 		oldM, curM := old[exp], cur[exp]
 		if oldM == nil {
 			continue // experiment newer than the older trajectory file
 		}
 		keys := make([]string, 0, len(oldM))
 		for k := range oldM {
-			if headline(exp, k) {
+			if perfgate.IsHeadline(exp, k) {
 				keys = append(keys, k)
 			}
 		}
@@ -203,7 +178,7 @@ func main() {
 			compared++
 			change := (now - was) / was
 			limit := *threshold
-			if timeBased(k) {
+			if perfgate.TimeBased(k) {
 				if strings.Contains(k, ".ns") && was < 1000 {
 					// Sub-microsecond wall-clock: below scheduler noise on a
 					// shared runner (one context switch is ~10us). Report it
@@ -227,7 +202,7 @@ func main() {
 	// so 0 -> 1 would land silently.
 	if curE15, ok := cur["E15"]; ok {
 		compared++
-		if allocs, ok := curE15["flush.allocs"]; !ok {
+		if allocs, ok := curE15[perfgate.MetricFlushAllocs]; !ok {
 			regressions++
 			fmt.Printf("  MISSING    E15 flush.allocs: absent in %s\n", pair[1])
 		} else if allocs != 0 {
@@ -248,7 +223,7 @@ func main() {
 		var vals []float64
 		keys := make([]string, 0, len(curE16))
 		for k := range curE16 {
-			if strings.HasPrefix(k, "lease.msgs_per_write.") {
+			if strings.HasPrefix(k, perfgate.LeaseMsgsPerWritePrefix) {
 				keys = append(keys, k)
 			}
 		}
@@ -287,7 +262,7 @@ func main() {
 	if curE17, ok := cur["E17"]; ok {
 		keys := make([]string, 0, len(curE17))
 		for k := range curE17 {
-			if strings.HasPrefix(k, "digest.match.") {
+			if strings.HasPrefix(k, perfgate.DigestMatchPrefix) {
 				keys = append(keys, k)
 			}
 		}
@@ -307,7 +282,7 @@ func main() {
 		} else if bad == 0 {
 			fmt.Printf("  ok         E17 digest.match: 1 across %d crash points\n", len(keys))
 		}
-		if pts := curE17["crash.points"]; pts < 4 {
+		if pts := curE17[perfgate.MetricCrashPoints]; pts < perfgate.MinCrashPoints {
 			regressions++
 			fmt.Printf("  REGRESSION E17 crash.points: %g, want >= 4 named protocol steps\n", pts)
 		}

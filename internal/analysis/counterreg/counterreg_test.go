@@ -1,0 +1,12 @@
+package counterreg_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/counterreg"
+	"munin/internal/analysis/framework"
+)
+
+func TestCounterreg(t *testing.T) {
+	framework.RunFixture(t, counterreg.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,68 @@
+// Package failpointref implements the muninvet analyzer that keeps
+// crash-point names resolvable. A failpoint name ties together three
+// places: the failpoint.Hit site compiled into a protocol step, the
+// ArmCrash spec a test or the bench harness injects (possibly with a
+// ":skip" suffix), and E17's crash-point sweep that proves the cluster
+// recovers from a kill at that step. A name that exists in only some
+// of them is a crash test that silently never fires.
+//
+// The analyzer enforces the static half: every constant name reaching
+// failpoint.Hit, Arm, Disarm or ArmCrash must be registered in
+// failpoint.Names(). The dynamic half — E17's sweep covering every
+// registered name — is asserted by TestE17CoversAllFailpoints in
+// internal/bench.
+package failpointref
+
+import (
+	"go/ast"
+	"strings"
+
+	"munin/internal/analysis/framework"
+	"munin/internal/failpoint"
+)
+
+// Analyzer is the failpointref analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "failpointref",
+	Doc:  "failpoint.Hit/Arm/ArmCrash names must be registered in failpoint.Names() so every crash point stays covered by E17",
+	Run:  run,
+}
+
+const failpointPath = "munin/internal/failpoint"
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case framework.FuncIs(fn, failpointPath, "", "Hit"),
+				framework.FuncIs(fn, failpointPath, "", "Disarm"),
+				framework.FuncIs(fn, failpointPath, "", "Arm"):
+				if name, ok := framework.StringArg(pass.TypesInfo, call, 0); ok {
+					checkName(pass, call, name)
+				}
+			case framework.FuncIs(fn, failpointPath, "", "ArmCrash"):
+				if spec, ok := framework.StringArg(pass.TypesInfo, call, 0); ok {
+					// Specs carry an optional ":skip" hit count.
+					checkName(pass, call, strings.SplitN(spec, ":", 2)[0])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkName(pass *framework.Pass, call *ast.CallExpr, name string) {
+	if failpoint.IsRegistered(name) {
+		return
+	}
+	pass.Reportf(call.Args[0].Pos(), "failpoint name %q is not registered in failpoint.Names(): a crash armed here never fires and E17 cannot cover it", name)
+}

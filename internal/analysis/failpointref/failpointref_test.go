@@ -1,0 +1,12 @@
+package failpointref_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/failpointref"
+	"munin/internal/analysis/framework"
+)
+
+func TestFailpointref(t *testing.T) {
+	framework.RunFixture(t, failpointref.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,30 @@
+// Fixture for the failpointref analyzer, run against the real
+// failpoint registry.
+package a
+
+import "munin/internal/failpoint"
+
+func hits() {
+	failpoint.Hit(failpoint.FlushPlanned)
+	failpoint.Hit("flush.planned")
+	failpoint.Hit("flush.bogus") // want `failpoint name "flush.bogus" is not registered`
+}
+
+func arms() {
+	failpoint.Arm(failpoint.LockGranted, 2, func() {})
+	failpoint.Arm("lock.grnted", 0, nil) // want `failpoint name "lock.grnted" is not registered`
+	failpoint.Disarm(failpoint.LockGranted)
+	failpoint.Disarm("gate.prak") // want `failpoint name "gate.prak" is not registered`
+}
+
+func crashes() {
+	_ = failpoint.ArmCrash("flush.sent:2")
+	_ = failpoint.ArmCrash(failpoint.GatePark)
+	_ = failpoint.ArmCrash("flush.snet:1") // want `failpoint name "flush.snet" is not registered`
+}
+
+func dynamic(spec string) {
+	// Non-constant specs (e.g. from the environment) are runtime
+	// territory; ArmCrash itself validates them.
+	_ = failpoint.ArmCrash(spec)
+}

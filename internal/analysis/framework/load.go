@@ -1,0 +1,227 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	Types *types.Package
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns rooted at dir with the go
+// command, compiles their dependency set for export data, and
+// type-checks the matched (non-dependency) packages from source. Test
+// files are not included: the analyzers guard the production tree.
+func Load(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	all, roots, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	exp := newExportImporter(fset, all)
+	var pkgs []*Package
+	for _, lp := range roots {
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, lp, exp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, fset, nil
+}
+
+// LoadDir type-checks the .go files of one directory as a single
+// package against the repository's real packages (resolved from dir's
+// module). It is the fixture loader behind analysistest: testdata
+// trees are invisible to `go list`, so their files are parsed directly
+// and only their imports go through the export-data pipeline.
+func LoadDir(fixtureDir, moduleDir string) (*Package, *token.FileSet, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(fixtureDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no .go files in %s", fixtureDir)
+	}
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := map[string]bool{}
+	name := ""
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		asts = append(asts, af)
+		name = af.Name.Name
+		for _, imp := range af.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	var all map[string]*listPackage
+	if len(imports) > 0 {
+		var err error
+		all, _, err = goList(moduleDir, imports)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	exp := newExportImporter(fset, all)
+	lp := &listPackage{ImportPath: name, Name: name}
+	pkg, err := typeCheckFiles(fset, lp, asts, exp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, fset, nil
+}
+
+// goList runs `go list -export -deps -json` and returns every listed
+// package keyed by import path, plus the root (pattern-matched,
+// in-module) packages in listing order.
+func goList(dir string, patterns []string) (map[string]*listPackage, []*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	all := map[string]*listPackage{}
+	var order []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, nil, fmt.Errorf("go list: %v (stderr: %s)", err, stderr.String())
+		}
+		p := lp
+		all[p.ImportPath] = &p
+		order = append(order, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	// Roots are the non-standard packages that belong to the module
+	// under analysis; -deps prepends the dependency closure.
+	var roots []*listPackage
+	for _, p := range order {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.Standard && p.Module != nil {
+			roots = append(roots, p)
+		}
+	}
+	return all, roots, nil
+}
+
+// newExportImporter builds a gc-export-data importer over the listed
+// packages' Export files.
+func newExportImporter(fset *token.FileSet, all map[string]*listPackage) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		lp, ok := all[path]
+		if !ok || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// resolvingImporter applies one package's ImportMap (vendored or
+// module-replaced paths) before delegating to the shared export-data
+// importer.
+type resolvingImporter struct {
+	m    map[string]string
+	next types.Importer
+}
+
+func (r resolvingImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.m[path]; ok {
+		path = mapped
+	}
+	return r.next.Import(path)
+}
+
+func typeCheck(fset *token.FileSet, lp *listPackage, exp types.Importer) (*Package, error) {
+	var asts []*ast.File
+	for _, f := range lp.GoFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	return typeCheckFiles(fset, lp, asts, exp)
+}
+
+func typeCheckFiles(fset *token.FileSet, lp *listPackage, asts []*ast.File, exp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: resolvingImporter{m: lp.ImportMap, next: exp},
+		Error:    func(err error) {}, // collect via the returned error below
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %v", lp.ImportPath, err)
+	}
+	return &Package{Types: tpkg, Files: asts, Info: info}, nil
+}

@@ -1,0 +1,150 @@
+package framework
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes
+// (nil for indirect calls through function values or conversions).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncIs reports whether fn is the named function or method: pkgPath
+// is the defining package, recv the receiver type name ("" for a
+// plain function, the named type for methods — pointerness ignored,
+// interface methods match by the interface's name).
+func FuncIs(fn *types.Func, pkgPath, recv, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return recv == "" && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != recv {
+		return false
+	}
+	return named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == pkgPath
+}
+
+// namedOf unwraps pointers and aliases down to the named type.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// NamedTypeIs reports whether t (possibly behind pointers) is the
+// named type pkgPath.name.
+func NamedTypeIs(t types.Type, pkgPath, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// StringArg returns the compile-time constant string value of call
+// argument i, if it is one.
+func StringArg(info *types.Info, call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	return StringValue(info, call.Args[i])
+}
+
+// StringValue returns the compile-time constant string value of an
+// expression, if it has one.
+func StringValue(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// IsStringLiteral reports whether call argument i is written as a
+// string literal at the call site (as opposed to a named constant).
+func IsStringLiteral(call *ast.CallExpr, i int) bool {
+	if i >= len(call.Args) {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[i]).(*ast.BasicLit)
+	return ok && lit.Kind.String() == "STRING"
+}
+
+// ExprString renders a (small) expression for diagnostics: selector
+// chains and index expressions come out as written, everything else
+// falls back to a best-effort sketch.
+func ExprString(e ast.Expr) string {
+	var b strings.Builder
+	exprString(&b, e)
+	return b.String()
+}
+
+func exprString(b *strings.Builder, e ast.Expr) {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		b.WriteString(ex.Name)
+	case *ast.SelectorExpr:
+		exprString(b, ex.X)
+		b.WriteByte('.')
+		b.WriteString(ex.Sel.Name)
+	case *ast.IndexExpr:
+		exprString(b, ex.X)
+		b.WriteByte('[')
+		exprString(b, ex.Index)
+		b.WriteByte(']')
+	case *ast.CallExpr:
+		exprString(b, ex.Fun)
+		b.WriteString("(…)")
+	case *ast.ParenExpr:
+		exprString(b, ex.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		exprString(b, ex.X)
+	case *ast.BasicLit:
+		b.WriteString(ex.Value)
+	default:
+		b.WriteString("<expr>")
+	}
+}
+
+// ObjectOf resolves an identifier expression (possibly parenthesized)
+// to its object, or nil.
+func ObjectOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

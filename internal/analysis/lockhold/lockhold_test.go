@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/framework"
+	"munin/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	framework.RunFixture(t, lockhold.Analyzer, "testdata/src/a")
+}

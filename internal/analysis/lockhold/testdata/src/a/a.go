@@ -1,0 +1,86 @@
+// Fixture for the lockhold analyzer. sync.WaitGroup.Wait and bare
+// channel receives stand in for the repo's blocking protocol calls —
+// they are in the same blocking registry, and using them keeps the
+// fixture free of heavyweight vkernel setup.
+package a
+
+import (
+	"sort"
+	"sync"
+)
+
+type obj struct {
+	mu      sync.Mutex
+	relayMu sync.Mutex
+	id      int
+}
+
+// blockUnderMutex: a rendezvous while a data mutex is held.
+func blockUnderMutex(o *obj, wg *sync.WaitGroup) {
+	o.mu.Lock()
+	wg.Wait() // want `blocking call wg.Wait while holding mutex o.mu`
+	o.mu.Unlock()
+}
+
+// recvUnderMutex: a channel receive parks the holder just the same.
+func recvUnderMutex(o *obj, ch chan int) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return <-ch // want `channel receive while holding mutex o.mu`
+}
+
+// cleanUnlockFirst: release the data mutex, then rendezvous.
+func cleanUnlockFirst(o *obj, wg *sync.WaitGroup) {
+	o.mu.Lock()
+	o.id++
+	o.mu.Unlock()
+	wg.Wait()
+}
+
+// cleanFenceHold: fence mutexes deliberately pin a pipeline across the
+// round trip; holding one over a blocking call is the design.
+func cleanFenceHold(o *obj, wg *sync.WaitGroup) {
+	o.relayMu.Lock()
+	wg.Wait()
+	o.relayMu.Unlock()
+}
+
+// cleanBranchLock: a conditional Lock does not leak past its branch.
+func cleanBranchLock(o *obj, wg *sync.WaitGroup, cond bool) {
+	if cond {
+		o.mu.Lock()
+		o.id++
+		o.mu.Unlock()
+	}
+	wg.Wait()
+}
+
+// badLoopLock: fence mutexes multi-acquired without an ordering sort.
+func badLoopLock(objs []*obj) {
+	for _, o := range objs {
+		o.relayMu.Lock() // want `fence mutex o.relayMu acquired in a loop without a preceding sort`
+	}
+	for _, o := range objs {
+		o.relayMu.Unlock()
+	}
+}
+
+// goodLoopLock: the sorted-ID loop is the sanctioned multi-acquisition.
+func goodLoopLock(objs []*obj) {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].id < objs[j].id })
+	for _, o := range objs {
+		o.relayMu.Lock()
+	}
+	for _, o := range objs {
+		o.relayMu.Unlock()
+	}
+}
+
+// badFencePair: two distinct fences taken directly — textual order is
+// not ID order.
+func badFencePair(a, b *obj) {
+	a.relayMu.Lock()
+	b.relayMu.Lock() // want `second fence mutex b.relayMu acquired while a.relayMu may still be held`
+	b.relayMu.Unlock()
+	a.relayMu.Unlock()
+}

@@ -1,0 +1,12 @@
+package pooledbuf_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/framework"
+	"munin/internal/analysis/pooledbuf"
+)
+
+func TestPooledbuf(t *testing.T) {
+	framework.RunFixture(t, pooledbuf.Analyzer, "testdata/src/a")
+}

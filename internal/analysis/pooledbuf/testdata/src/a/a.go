@@ -1,0 +1,65 @@
+// Fixture for the pooledbuf analyzer: every case exercises one
+// diagnostic (or its absence) against the real bufpool package.
+package a
+
+import "munin/internal/bufpool"
+
+// SendOwned and CallStartOwned mirror the transport/vkernel hand-over
+// shapes the analyzer recognizes by name and arity.
+func SendOwned(wb *bufpool.Buffer) error               { return nil }
+func CallStartOwned(dst int, wb *bufpool.Buffer) error { return nil }
+
+func fill(wb *bufpool.Buffer) bool { return len(wb.B) >= 0 }
+
+// leak: the buffer never reaches a release or hand-over.
+func leak() {
+	wb := bufpool.Get(64) // want `pooled buffer "wb" is never released or handed over`
+	wb.B = nil
+}
+
+// useAfterRelease: touched after Release returned it to the pool.
+func useAfterRelease() {
+	wb := bufpool.Get(64)
+	wb.Release()
+	wb.B = nil // want `use of "wb" after its ownership was transferred`
+}
+
+// useAfterSend: touched after the writer goroutine took ownership.
+func useAfterSend() {
+	wb := bufpool.Get(64)
+	_ = SendOwned(wb)
+	wb.B = nil // want `use of "wb" after its ownership was transferred`
+}
+
+// cleanRelease: exactly one Release on the only path.
+func cleanRelease() {
+	wb := bufpool.Get(64)
+	wb.B = append(wb.B[:0], 1)
+	wb.Release()
+}
+
+// cleanDefer: a deferred Release ends ownership at function exit and
+// poisons nothing before it.
+func cleanDefer() {
+	wb := bufpool.Get(16)
+	defer wb.Release()
+	wb.B = append(wb.B[:0], 2)
+}
+
+// cleanErrorPath: release-and-return inside a branch only poisons that
+// branch; the happy path hands the buffer over exactly once.
+func cleanErrorPath() bool {
+	wb := bufpool.Get(32)
+	if !fill(wb) {
+		wb.Release()
+		return false
+	}
+	return SendOwned(wb) == nil
+}
+
+// cleanStartOwned: ownership ends at the CallStartOwned hand-over.
+func cleanStartOwned() error {
+	wb := bufpool.Get(32)
+	wb.B = append(wb.B[:0], 3)
+	return CallStartOwned(1, wb)
+}

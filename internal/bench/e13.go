@@ -132,7 +132,7 @@ func RunE13Home(topo transport.Topology, out *os.File) error {
 		_, probe := k.Call(1, kindE13Echo, nil)
 		o.ProbeMs = float64(time.Since(start).Nanoseconds()) / 1e6
 		o.ProbeDown = errors.As(probe, &pd)
-		o.FailedPeer = k.Counters()["call.failed_peer"]
+		o.FailedPeer = k.Counters()[stats.CCallFailedPeer]
 		enc, _ := json.Marshal(o)
 		fmt.Fprintf(out, "%s%s\n", e13OutagePrefix, enc)
 	}()

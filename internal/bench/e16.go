@@ -231,7 +231,7 @@ func RunE16Reader(topo transport.Topology) (err error) {
 	// Report what we saw either way — the home cross-checks the value.
 	c := node.C.Snapshot()
 	b := msg.NewBuilder(24)
-	b.U64(got).U64(uint64(c["lease.expired_reads"])).U64(uint64(c["rm.remote_reads"]))
+	b.U64(got).U64(uint64(c[stats.CLeaseExpiredReads])).U64(uint64(c[stats.CRMRemoteReads]))
 	if _, err := k.Call(0, kindE16Report, b.Bytes()); err != nil {
 		return fmt.Errorf("report: %w", err)
 	}

@@ -266,6 +266,22 @@ func e17Cases() []e17Case {
 	}
 }
 
+// E17CrashPoints returns the failpoint names the E17 sweep arms, with
+// any ":skip" suffix stripped (the parent-driven parked-arrival kill,
+// which arms no failpoint, is excluded). TestE17CoversAllFailpoints
+// asserts this set covers failpoint.Names(), so registering a new
+// crash point without extending the sweep fails CI.
+func E17CrashPoints() []string {
+	var out []string
+	for _, cs := range e17Cases() {
+		if cs.crash == "" {
+			continue
+		}
+		out = append(out, strings.SplitN(cs.crash, ":", 2)[0])
+	}
+	return out
+}
+
 // spawnE17Child is spawnMeshChild plus a stdin pipe, so the parent can
 // release a HoldExit member after the kill.
 func spawnE17Child(cfg meshChildConfig) (*exec.Cmd, *bufio.Scanner, io.WriteCloser, error) {

@@ -6,6 +6,7 @@ import (
 
 	"munin/internal/failpoint"
 	"munin/internal/msg"
+	"munin/internal/stats"
 	"munin/internal/vkernel"
 )
 
@@ -269,9 +270,9 @@ func (s *System) gatePeerDown(peer msg.NodeID, cause error) {
 	}
 	s.gateMu.Unlock()
 	if n := s.nodes[s.self]; n != nil {
-		n.C.Add("member.down_wait", 1)
+		n.C.Add(stats.CMemberDownWait, 1)
 		if purged > 0 {
-			n.C.Add("gate.stale_purged", purged)
+			n.C.Add(stats.CGateStalePurged, purged)
 		}
 	}
 }
@@ -287,7 +288,7 @@ func (s *System) gatePeerBack(peer msg.NodeID) {
 	delete(s.lostPeers, peer)
 	s.gateMu.Unlock()
 	if n := s.nodes[s.self]; n != nil {
-		n.C.Add("member.reconnected", 1)
+		n.C.Add(stats.CMemberReconnected, 1)
 	}
 }
 
@@ -427,7 +428,7 @@ func (s *System) handleGateSync(req *msg.Msg) {
 	}
 	s.gateMu.Unlock()
 	if node := s.nodes[s.self]; node != nil {
-		node.C.Add("recover.gate_synced", 1)
+		node.C.Add(stats.CRecoverGateSynced, 1)
 	}
 	k.Reply(req, msg.NewBuilder(16).U8(gateOK).U64(next).Bytes())
 }
@@ -464,6 +465,6 @@ func (s *System) resyncGate() error {
 	s.mu.Lock()
 	s.gateSeq = next
 	s.mu.Unlock()
-	s.nodes[s.self].C.Add("recover.gate_resync", 1)
+	s.nodes[s.self].C.Add(stats.CRecoverGateResync, 1)
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"munin/internal/cluster"
 	"munin/internal/failpoint"
 	"munin/internal/msg"
+	"munin/internal/stats"
 	"munin/internal/vkernel"
 )
 
@@ -364,10 +365,10 @@ func (s *Service) surrenderLocked(id LockID, p *proxy) {
 func (s *Service) PeerGone(peer msg.NodeID) {
 	dequeued, released := s.resetPeer(peer)
 	if dequeued > 0 {
-		s.k.C.Add("dlock.gone_dequeued", dequeued)
+		s.k.C.Add(stats.CDlockGoneDequeued, dequeued)
 	}
 	if released > 0 {
-		s.k.C.Add("dlock.gone_owner", released)
+		s.k.C.Add(stats.CDlockGoneOwner, released)
 	}
 }
 
@@ -382,10 +383,10 @@ func (s *Service) PeerGone(peer msg.NodeID) {
 func (s *Service) PeerRecovered(peer msg.NodeID) {
 	dequeued, released := s.resetPeer(peer)
 	if dequeued > 0 {
-		s.k.C.Add("dlock.recover_dequeued", dequeued)
+		s.k.C.Add(stats.CDlockRecoverDequeued, dequeued)
 	}
 	if released > 0 {
-		s.k.C.Add("dlock.recover_owner", released)
+		s.k.C.Add(stats.CDlockRecoverOwner, released)
 	}
 }
 

@@ -46,6 +46,26 @@ const (
 	GatePark = "gate.park"
 )
 
+// names is the registry of every declared failpoint. A Hit or ArmCrash
+// site must reference one of these (the muninvet failpointref analyzer
+// enforces it statically), and the E17 crash-point sweep must cover all
+// of them (bench asserts it against Names).
+var names = []string{FlushPlanned, FlushSent, LockGranted, LockHeld, GatePark}
+
+// Names returns every registered failpoint name, in declaration order.
+// The returned slice is a copy.
+func Names() []string { return append([]string(nil), names...) }
+
+// IsRegistered reports whether name is a declared failpoint.
+func IsRegistered(name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 var (
 	// armed counts the currently armed points; Hit is a single atomic
 	// load when it is zero.

@@ -1,0 +1,113 @@
+// Package perfgate declares which benchmark metrics the perf gate
+// guards. cmd/perfdiff consumes this spec to diff the two newest
+// BENCH_<n>.json trajectory files, and internal/analysis/regsync
+// cross-checks it against the newest trajectory file itself — a gate
+// key that no experiment emits anymore (a silent rename in bench code)
+// fails a test instead of quietly disabling its regression check.
+//
+// Keeping the spec apart from the diff logic is the same move as
+// internal/stats' counter registry: the names that CI enforcement
+// hangs off live in exactly one place.
+package perfgate
+
+import "strings"
+
+// Gate selects the guarded metrics of one experiment, by exact name or
+// by prefix (optionally narrowed by a suffix, for families like
+// munin.<app>.msgs).
+type Gate struct {
+	Exp    string // experiment ID, e.g. "E16"
+	Exact  string // exact metric name, or ""
+	Prefix string // metric name prefix, or ""
+	Suffix string // with Prefix: required suffix
+}
+
+// Match reports whether metric is guarded by this gate.
+func (g Gate) Match(metric string) bool {
+	if g.Exact != "" {
+		return metric == g.Exact
+	}
+	return strings.HasPrefix(metric, g.Prefix) &&
+		(g.Suffix == "" || strings.HasSuffix(metric, g.Suffix))
+}
+
+// String renders the gate's key shape for error messages.
+func (g Gate) String() string {
+	if g.Exact != "" {
+		return g.Exp + " " + g.Exact
+	}
+	return g.Exp + " " + g.Prefix + "*" + g.Suffix
+}
+
+// Headline is the relative (ratio-thresholded, lower-is-better) gate
+// spec: count metrics at the tight threshold, wall-clock metrics
+// (TimeBased) at the loose one.
+var Headline = []Gate{
+	{Exp: "E1", Prefix: "munin.", Suffix: ".msgs"},
+	{Exp: "E10", Prefix: "batched."},
+	{Exp: "E11", Prefix: "batched.writes."},
+	{Exp: "E12", Prefix: "batched.writes."},
+	{Exp: "E14", Prefix: "batched.writes."},
+	{Exp: "E15", Exact: MetricFlushWireNs},
+	{Exp: "E15", Prefix: "flush.ns."},
+	{Exp: "E16", Prefix: "lease.write.ns."},
+	{Exp: "E16", Prefix: "copyset.write.ns."},
+	{Exp: "E17", Exact: MetricRejoinFirstReadMs},
+	{Exp: "E17", Exact: MetricRejoinReprimeMsgs},
+}
+
+// Absolute is the non-ratio gate spec; the semantics of each key are
+// enforced by cmd/perfdiff (zero allocations, flat fan-out, digests
+// exactly 1, crash-point floor).
+var Absolute = []Gate{
+	{Exp: "E15", Exact: MetricFlushAllocs},
+	{Exp: "E16", Prefix: LeaseMsgsPerWritePrefix},
+	{Exp: "E17", Prefix: DigestMatchPrefix},
+	{Exp: "E17", Exact: MetricCrashPoints},
+}
+
+// Absolutely-gated metric keys and the headline exacts, named so bench
+// emitters, perfdiff and the sync test agree on one spelling.
+const (
+	MetricFlushAllocs       = "flush.allocs"
+	MetricFlushWireNs       = "flush.wire.ns"
+	MetricRejoinFirstReadMs = "rejoin.first_read_ms"
+	MetricRejoinReprimeMsgs = "rejoin.reprime_msgs"
+	MetricCrashPoints       = "crash.points"
+	LeaseMsgsPerWritePrefix = "lease.msgs_per_write."
+	DigestMatchPrefix       = "digest.match."
+
+	// MinCrashPoints is the floor perfdiff holds crash.points to: the
+	// E17 sweep must keep covering the named protocol steps.
+	MinCrashPoints = 4
+)
+
+// Experiments returns the guarded experiment IDs in diff order.
+func Experiments() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, g := range Headline {
+		if !seen[g.Exp] {
+			seen[g.Exp] = true
+			out = append(out, g.Exp)
+		}
+	}
+	return out
+}
+
+// IsHeadline reports whether metric is relatively gated for exp.
+func IsHeadline(exp, metric string) bool {
+	for _, g := range Headline {
+		if g.Exp == exp && g.Match(metric) {
+			return true
+		}
+	}
+	return false
+}
+
+// TimeBased reports whether a metric is a wall-clock measurement
+// (nanoseconds or milliseconds) rather than a deterministic count —
+// gated at the looser threshold because shared runners jitter.
+func TimeBased(metric string) bool {
+	return strings.Contains(metric, ".ns") || strings.HasSuffix(metric, "_ms")
+}

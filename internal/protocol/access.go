@@ -9,6 +9,7 @@ import (
 	"munin/internal/failpoint"
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/stats"
 	"munin/internal/vkernel"
 
 	"munin/internal/duq"
@@ -24,7 +25,7 @@ func (n *Node) Read(q *duq.Queue, id memory.ObjectID, off int, buf []byte) {
 	o := n.mustObj(id)
 	checkRange(o, off, len(buf))
 	o.eng.read(n, q, o, off, buf)
-	n.C.Add("reads", 1)
+	n.C.Add(stats.CReads, 1)
 }
 
 // Write stores data at [off, off+len(data)), running the object's
@@ -35,7 +36,7 @@ func (n *Node) Write(q *duq.Queue, id memory.ObjectID, off int, data []byte) {
 	o := n.mustObj(id)
 	checkRange(o, off, len(data))
 	o.eng.write(n, q, o, off, data)
-	n.C.Add("writes", 1)
+	n.C.Add(stats.CWrites, 1)
 }
 
 // FlushQueue propagates every delayed update in q. The runtime calls
@@ -191,8 +192,8 @@ func (n *Node) flushBatched(fs *flushScratch) error {
 			if len(spans) == 0 {
 				continue
 			}
-			n.C.Add("diff.sent", 1)
-			n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
+			n.C.Add(stats.CDiffSent, 1)
+			n.C.Add(stats.CDiffBytes, int64(memory.SpanBytes(spans)))
 			home := n.homeOf(&o.meta)
 			known := false
 			for _, d := range fs.dstOrder {
@@ -254,7 +255,7 @@ func (n *Node) flushBatched(fs *flushScratch) error {
 	// loses the whole drained dirty set.
 	failpoint.Hit(failpoint.FlushPlanned)
 	if work > 1 {
-		n.C.Add("flush.pipelined", 1)
+		n.C.Add(stats.CFlushPipelined, 1)
 	}
 
 	// Every producer-consumer object's pushMu is taken up front, in
@@ -551,9 +552,9 @@ func (n *Node) startPushBatch(fs *flushScratch, g *pcGroup) ([]flushAwait, error
 		members = append(members, o.consumers...)
 		o.mu.Unlock()
 		members = n.withHome(o, members)
-		n.C.Add("diff.sent", 1)
-		n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
-		n.C.Add("eager.push", 1)
+		n.C.Add(stats.CDiffSent, 1)
+		n.C.Add(stats.CDiffBytes, int64(memory.SpanBytes(spans)))
+		n.C.Add(stats.CEagerPush, 1)
 		e := applyEntry{id: o.meta.ID, seq: seq, spans: spans}
 		if memberKey(members) == groupKey {
 			batch = append(batch, e)
@@ -614,7 +615,7 @@ func (n *Node) ensureReadable(o *Obj) {
 		gen := o.genInv
 		o.mu.Unlock()
 
-		n.C.Add("fault.read", 1)
+		n.C.Add(stats.CFaultRead, 1)
 		reply, err := n.k.Call(n.homeOf(&o.meta), kindRead,
 			msg.NewBuilder(4).U32(uint32(o.meta.ID)).Bytes())
 		if err != nil {
@@ -628,7 +629,7 @@ func (n *Node) ensureReadable(o *Obj) {
 		o.fetching = false
 		if o.genInv != gen {
 			// Invalidated while the reply was in flight: retry.
-			n.C.Add("fetch.retry", 1)
+			n.C.Add(stats.CFetchRetry, 1)
 			o.cond.Broadcast()
 			continue
 		}
@@ -732,7 +733,7 @@ func (n *Node) Evict(id memory.ObjectID) {
 	o.state = Invalid
 	o.genInv++
 	o.mu.Unlock()
-	n.C.Add("evict", 1)
+	n.C.Add(stats.CEvict, 1)
 	n.k.Send(home, kindEvict, msg.NewBuilder(4).U32(uint32(id)).Bytes())
 }
 
@@ -751,11 +752,11 @@ func (n *Node) bufferedWrite(q *duq.Queue, o *Obj, off int, data []byte) {
 	// thread's flush would never be diffed.
 	if o.twin == nil {
 		o.snapTwin()
-		n.C.Add("twin", 1)
+		n.C.Add(stats.CTwin, 1)
 	}
 	copy(o.data[off:], data)
 	o.mu.Unlock()
-	n.C.Add("write.buffered", 1)
+	n.C.Add(stats.CWriteBuffered, 1)
 }
 
 // flushObject emits the delayed update for one object (the legacy
@@ -786,8 +787,8 @@ func (n *Node) flushDiff(o *Obj) {
 	if len(spans) == 0 {
 		return
 	}
-	n.C.Add("diff.sent", 1)
-	n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
+	n.C.Add(stats.CDiffSent, 1)
+	n.C.Add(stats.CDiffBytes, int64(memory.SpanBytes(spans)))
 	home := n.homeOf(&o.meta)
 	if home == n.id {
 		// Local flush at the home: the home copy already holds the
@@ -830,11 +831,11 @@ func (n *Node) producerWrite(q *duq.Queue, o *Obj, off int, data []byte) {
 	q.MarkDirty(o.meta.ID)
 	if o.twin == nil { // see bufferedWrite: twin is per-node
 		o.snapTwin()
-		n.C.Add("twin", 1)
+		n.C.Add(stats.CTwin, 1)
 	}
 	copy(o.data[off:], data)
 	o.mu.Unlock()
-	n.C.Add("write.buffered", 1)
+	n.C.Add(stats.CWriteBuffered, 1)
 }
 
 // becomeProducer registers this node as the object's producer with the
@@ -908,9 +909,9 @@ func (n *Node) flushProducer(o *Obj) {
 	id := o.meta.ID
 	o.mu.Unlock()
 
-	n.C.Add("diff.sent", 1)
-	n.C.Add("diff.bytes", int64(memory.SpanBytes(spans)))
-	n.C.Add("eager.push", 1)
+	n.C.Add(stats.CDiffSent, 1)
+	n.C.Add(stats.CDiffBytes, int64(memory.SpanBytes(spans)))
+	n.C.Add(stats.CEagerPush, 1)
 	// Acknowledged eager push: consumers never wait for data, the
 	// producer pays the wait at its own synchronization point.
 	payload := encodeApply(applyEntry{id: id, seq: seq, spans: spans})
@@ -938,8 +939,8 @@ func (n *Node) ensureConsumer(o *Obj) {
 	o.fetching = true
 	o.mu.Unlock()
 
-	n.C.Add("fault.read", 1)
-	n.C.Add("consumer.stall", 1) // a consumer had to wait for data
+	n.C.Add(stats.CFaultRead, 1)
+	n.C.Add(stats.CConsumerStall, 1) // a consumer had to wait for data
 	reply, err := n.k.Call(n.homeOf(&o.meta), kindRegCons,
 		msg.NewBuilder(5).U32(uint32(o.meta.ID)).Bool(false).Bytes())
 	if err != nil {
@@ -982,7 +983,7 @@ func (n *Node) readMostlyRead(o *Obj, off int, buf []byte) {
 		if miss {
 			// The copy lapsed (or was never fetched): this read crosses
 			// the wire, like a lease take/refresh does.
-			n.C.Add("rm.remote_reads", 1)
+			n.C.Add(stats.CRMRemoteReads, 1)
 		}
 		n.ensureReadable(o)
 		o.mu.Lock()
@@ -990,8 +991,8 @@ func (n *Node) readMostlyRead(o *Obj, off int, buf []byte) {
 		o.mu.Unlock()
 		return
 	}
-	n.C.Add("remote.load", 1)
-	n.C.Add("rm.remote_reads", 1)
+	n.C.Add(stats.CRemoteLoad, 1)
+	n.C.Add(stats.CRMRemoteReads, 1)
 	reply, err := n.k.Call(home, kindRemRead,
 		msg.NewBuilder(12).U32(uint32(o.meta.ID)).Int(off).Int(len(buf)).Bytes())
 	if err != nil {
@@ -1011,7 +1012,7 @@ func (n *Node) readMostlyWrite(o *Obj, off int, data []byte) {
 		n.homeAfterRemoteWrite(o.meta.ID, []memory.Span{{Off: off, Data: append([]byte(nil), data...)}}, n.id)
 		return
 	}
-	n.C.Add("remote.store", 1)
+	n.C.Add(stats.CRemoteStore, 1)
 	b := msg.NewBuilder(16 + len(data))
 	b.U32(uint32(o.meta.ID)).Int(off).BytesN(data)
 	reply, err := n.k.Call(home, kindRemWrite, b.Bytes())
@@ -1041,7 +1042,7 @@ func (n *Node) resultRead(o *Obj, off int, buf []byte) {
 		o.mu.Unlock()
 		return
 	}
-	n.C.Add("remote.load", 1)
+	n.C.Add(stats.CRemoteLoad, 1)
 	reply, err := n.k.Call(home, kindRemRead,
 		msg.NewBuilder(12).U32(uint32(o.meta.ID)).Int(off).Int(len(buf)).Bytes())
 	if err != nil {
@@ -1070,7 +1071,7 @@ func (n *Node) ownershipWrite(o *Obj, off int, data []byte) {
 		o.owning = true
 		o.mu.Unlock()
 
-		n.C.Add("fault.write", 1)
+		n.C.Add(stats.CFaultWrite, 1)
 		// The grant is installed — and this write applied — inline on
 		// the dispatcher goroutine, strictly before any later fetch or
 		// invalidation from the home is dispatched. This closes the

@@ -8,6 +8,7 @@ import (
 
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/stats"
 	"munin/internal/transport"
 	"munin/internal/vkernel"
 )
@@ -33,7 +34,7 @@ func (n *Node) handleRead(req *msg.Msg) {
 	}
 	o := n.mustObj(id)
 	d := n.dirEntryOf(id)
-	n.C.Add("home.read", 1)
+	n.C.Add(stats.CHomeRead, 1)
 
 	switch o.meta.Annot {
 	case Conventional:
@@ -109,7 +110,7 @@ func (n *Node) replyData(req *msg.Msg, data []byte, seq uint64) {
 
 // fetchFrom asks a remote owner for the object's current contents.
 func (n *Node) fetchFrom(owner msg.NodeID, id memory.ObjectID, mode uint8) []byte {
-	n.C.Add("home.fetch", 1)
+	n.C.Add(stats.CHomeFetch, 1)
 	reply, err := n.k.Call(owner, kindFetch,
 		msg.NewBuilder(5).U32(uint32(id)).U8(mode).Bytes())
 	if err != nil {
@@ -130,7 +131,7 @@ func (n *Node) handleWriteOwn(req *msg.Msg) {
 	}
 	o := n.mustObj(id)
 	d := n.dirEntryOf(id)
-	n.C.Add("home.writeown", 1)
+	n.C.Add(stats.CHomeWriteOwn, 1)
 
 	d.mu.Lock()
 	requester := req.From
@@ -166,7 +167,7 @@ func (n *Node) handleWriteOwn(req *msg.Msg) {
 			o.genInv++
 			o.mu.Unlock()
 		} else {
-			n.C.Add("home.inv", 1)
+			n.C.Add(stats.CHomeInv, 1)
 			// A member that departed cleanly mid-invalidation took its
 			// copy with it — dropping it from the copyset below is the
 			// whole invalidation.
@@ -213,7 +214,7 @@ func (n *Node) handleInv(req *msg.Msg) {
 	o.genInv++
 	o.dirtyOwner = false
 	o.mu.Unlock()
-	n.C.Add("inv.received", 1)
+	n.C.Add(stats.CInvReceived, 1)
 	n.k.Reply(req, nil)
 }
 
@@ -246,7 +247,7 @@ func (n *Node) handleFetch(req *msg.Msg) {
 		o.dirtyOwner = true
 	}
 	o.mu.Unlock()
-	n.C.Add("fetch.served", 1)
+	n.C.Add(stats.CFetchServed, 1)
 	n.k.Reply(req, msg.NewBuilder(8+len(data)).BytesN(data).Bytes())
 }
 
@@ -302,7 +303,7 @@ func (n *Node) handleDiff(req *msg.Msg) {
 func (n *Node) mergeStamp(id memory.ObjectID, spans []memory.Span, from msg.NodeID, alreadyApplied bool) (uint64, []msg.NodeID) {
 	o := n.mustObj(id)
 	d := n.dirEntryOf(id)
-	n.C.Add("home.diff", 1)
+	n.C.Add(stats.CHomeDiff, 1)
 
 	d.mu.Lock()
 	o.mu.Lock()
@@ -310,7 +311,7 @@ func (n *Node) mergeStamp(id memory.ObjectID, spans []memory.Span, from msg.Node
 		if o.twin != nil && memory.Overlap(spans, memory.DiffAlloc(o.twin, o.data, 0)) {
 			// Diagnostic only: concurrent overlapping updates mean the
 			// application raced (loose coherence allows either value).
-			n.C.Add("race.detected", 1)
+			n.C.Add(stats.CRaceDetected, 1)
 		}
 		memory.ApplySpans(o.data, spans)
 	}
@@ -346,7 +347,7 @@ func (n *Node) homeMergeDiff(id memory.ObjectID, spans []memory.Span, from msg.N
 	if len(members) == 0 {
 		return seq
 	}
-	n.C.Add("home.relay", 1)
+	n.C.Add(stats.CHomeRelay, 1)
 	payload := encodeApply(applyEntry{id: id, seq: seq, spans: spans})
 	if _, err := n.k.MulticastCall(members, kindApply, payload); err != nil && !n.relayBenign(err) {
 		panic(fmt.Sprintf("munin: relay diff for object %d: %v", id, err))
@@ -393,9 +394,9 @@ func encodeApplyBatch(entries []applyEntry) []byte {
 // countBatch records the counters for one multi-entry batch message of
 // the given payload size.
 func (n *Node) countBatch(objs, payloadBytes int) {
-	n.C.Add("batch.sent", 1)
-	n.C.Add("batch.objs", int64(objs))
-	n.C.Add("batch.bytes", int64(payloadBytes))
+	n.C.Add(stats.CBatchSent, 1)
+	n.C.Add(stats.CBatchObjs, int64(objs))
+	n.C.Add(stats.CBatchBytes, int64(payloadBytes))
 }
 
 // homeMergeBatch merges a whole delayed-update batch in entry order
@@ -464,7 +465,7 @@ func (n *Node) homeMergeBatch(entries []batchEntry, from msg.NodeID, alreadyAppl
 	pends := make([]*vkernel.Pending, 0, len(keys))
 	for _, key := range keys {
 		members, idx := groups[key], idxOf[key]
-		n.C.Add("home.relay", 1)
+		n.C.Add(stats.CHomeRelay, 1)
 		var payload []byte
 		kind := kindApply
 		if len(idx) == 1 {
@@ -582,7 +583,7 @@ func (n *Node) handleApply(req *msg.Msg) {
 		o.state = Invalid
 		o.genInv++
 		o.mu.Unlock()
-		n.C.Add("inv.received", 1)
+		n.C.Add(stats.CInvReceived, 1)
 		n.k.Reply(req, nil)
 		return
 	}
@@ -596,7 +597,7 @@ func (n *Node) handleApply(req *msg.Msg) {
 // paths.
 func (n *Node) applyRefresh(o *Obj, seq uint64, spans []memory.Span) {
 	o.mu.Lock()
-	n.C.Add("apply.received", 1)
+	n.C.Add(stats.CApplyReceived, 1)
 	switch {
 	case o.state == Invalid:
 		// No installed copy. A fetch may be in flight (the home added
@@ -637,7 +638,7 @@ func (n *Node) applyRefresh(o *Obj, seq uint64, spans []memory.Span) {
 		// predates our registration never reached us and no reply
 		// will ever advance past it), and consumers hold no buffered
 		// writes, so the wholesale install is safe for them.
-		n.C.Add("apply.gap", 1)
+		n.C.Add(stats.CApplyGap, 1)
 		o.pendApply[seq] = memory.CloneSpans(spans) // see the Invalid case
 
 		if o.meta.Annot == ProducerConsumer && !o.isProducer && o.twin == nil {
@@ -667,7 +668,7 @@ func (n *Node) handleRemRead(req *msg.Msg) {
 	o.mu.Lock()
 	data := append([]byte(nil), o.data[off:off+ln]...)
 	o.mu.Unlock()
-	n.C.Add("home.remread", 1)
+	n.C.Add(stats.CHomeRemRead, 1)
 	n.k.Reply(req, msg.NewBuilder(8+len(data)).BytesN(data).Bytes())
 
 	if o.meta.Annot != ReadMostly || !o.meta.Opts.Dynamic {
@@ -685,7 +686,7 @@ func (n *Node) handleRemRead(req *msg.Msg) {
 	o.mu.Unlock()
 	d.mu.Unlock()
 	if switchIt {
-		n.C.Add("mode.switch", 1)
+		n.C.Add(stats.CModeSwitch, 1)
 		n.k.MulticastTo(n.allOtherNodes(), kindModeSw,
 			msg.NewBuilder(5).U32(uint32(id)).Bool(true).Bytes())
 	}
@@ -706,7 +707,7 @@ func (n *Node) handleRemWrite(req *msg.Msg) {
 	o.mu.Lock()
 	copy(o.data[off:], data)
 	o.mu.Unlock()
-	n.C.Add("home.remwrite", 1)
+	n.C.Add(stats.CHomeRemWrite, 1)
 
 	d := n.dirEntryOf(id)
 	d.mu.Lock()
@@ -747,7 +748,7 @@ func (n *Node) homeAfterRemoteWrite(id memory.ObjectID, spans []memory.Span, fro
 	if o.meta.Opts.Dynamic {
 		if d.updMode == Invalidate && d.dropped > 0 && d.rereads*2 >= d.dropped {
 			d.updMode = Refresh
-			n.C.Add("mode.switch", 1)
+			n.C.Add(stats.CModeSwitch, 1)
 		}
 	}
 	o.mu.Lock()
@@ -782,7 +783,7 @@ func (n *Node) homeAfterRemoteWrite(id memory.ObjectID, spans []memory.Span, fro
 	if mode == Refresh {
 		memory.EncodeSpans(b, spans)
 	}
-	n.C.Add("home.relay", 1)
+	n.C.Add(stats.CHomeRelay, 1)
 	if _, err := n.k.MulticastCall(members, kindApply, b.Bytes()); err != nil && !n.relayBenign(err) {
 		panic(fmt.Sprintf("munin: redistribute object %d: %v", id, err))
 	}

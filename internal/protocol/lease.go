@@ -6,6 +6,7 @@ import (
 	"munin/internal/duq"
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/stats"
 )
 
 // The Tardis-style lease engine (engine #2). The directory engine keeps
@@ -78,18 +79,18 @@ func (n *Node) leaseRead(o *Obj, off int, buf []byte) {
 	if o.leaseValid && o.leaseEpoch == epoch {
 		copy(buf, o.data[off:])
 		o.mu.Unlock()
-		n.C.Add("lease.local_reads", 1)
+		n.C.Add(stats.CLeaseLocalReads, 1)
 		return
 	}
 	if o.leaseValid {
 		// We hold bytes but the lease lapsed at a synchronization
 		// point — the lazy pull TARDIS trades the invalidation for.
-		n.C.Add("lease.expired_reads", 1)
+		n.C.Add(stats.CLeaseExpiredReads, 1)
 	}
 	req := msg.LeaseReq{Obj: uint32(o.meta.ID), Have: o.leaseValid, Ver: o.leaseVer}
 	o.mu.Unlock()
 
-	n.C.Add("rm.remote_reads", 1)
+	n.C.Add(stats.CRMRemoteReads, 1)
 	reply, err := n.k.Call(n.homeOf(&o.meta), kindLeaseRead, req.Encode())
 	if err != nil {
 		panic(fmt.Sprintf("munin: lease read %q: %v", o.meta.Name, err))
@@ -131,10 +132,10 @@ func (n *Node) leaseWrite(o *Obj, off int, data []byte) {
 		copy(o.data[off:], data)
 		o.applySeq++
 		o.mu.Unlock()
-		n.C.Add("lease.bumps", 1)
+		n.C.Add(stats.CLeaseBumps, 1)
 		return
 	}
-	n.C.Add("remote.store", 1)
+	n.C.Add(stats.CRemoteStore, 1)
 	b := msg.NewBuilder(16 + len(data))
 	b.U32(uint32(o.meta.ID)).Int(off).BytesN(data)
 	reply, err := n.k.Call(n.homeOf(&o.meta), kindLeaseWrite, b.Bytes())
@@ -172,16 +173,16 @@ func (n *Node) handleLeaseRead(req *msg.Msg) {
 	ver := o.applySeq
 	if lr.Have && lr.Ver == ver {
 		o.mu.Unlock()
-		n.C.Add("lease.renewed", 1)
+		n.C.Add(stats.CLeaseRenewed, 1)
 		n.k.Reply(req, msg.LeaseGrant{Ver: ver, Unchanged: true}.Encode())
 		return
 	}
 	data := append([]byte(nil), o.data...)
 	o.mu.Unlock()
 	if lr.Have {
-		n.C.Add("lease.renewed", 1)
+		n.C.Add(stats.CLeaseRenewed, 1)
 	} else {
-		n.C.Add("lease.granted", 1)
+		n.C.Add(stats.CLeaseGranted, 1)
 	}
 	n.k.Reply(req, msg.LeaseGrant{Ver: ver, Data: data}.Encode())
 }
@@ -204,6 +205,6 @@ func (n *Node) handleLeaseWrite(req *msg.Msg) {
 	o.applySeq++
 	ver := o.applySeq
 	o.mu.Unlock()
-	n.C.Add("lease.bumps", 1)
+	n.C.Add(stats.CLeaseBumps, 1)
 	n.k.Reply(req, msg.NewBuilder(8).U64(ver).Bytes())
 }

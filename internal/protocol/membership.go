@@ -5,6 +5,7 @@ import (
 
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/stats"
 	"munin/internal/transport"
 )
 
@@ -39,15 +40,15 @@ import (
 // back by the home).
 func (n *Node) PeerGone(peer msg.NodeID) {
 	copies, consumers, owners := n.prunePeer(peer)
-	n.C.Add("member.gone", 1)
+	n.C.Add(stats.CMemberGone, 1)
 	if copies > 0 {
-		n.C.Add("member.pruned_copies", copies)
+		n.C.Add(stats.CMemberPrunedCopies, copies)
 	}
 	if consumers > 0 {
-		n.C.Add("member.pruned_consumers", consumers)
+		n.C.Add(stats.CMemberPrunedConsumers, consumers)
 	}
 	if owners > 0 {
-		n.C.Add("member.reclaimed_owner", owners)
+		n.C.Add(stats.CMemberReclaimedOwner, owners)
 	}
 }
 
@@ -132,7 +133,7 @@ func (n *Node) relayBenign(err error) bool {
 		return true
 	}
 	if isGone(err) {
-		n.C.Add("relay.gone", 1)
+		n.C.Add(stats.CRelayGone, 1)
 		return true
 	}
 	return false

@@ -6,6 +6,7 @@ import (
 
 	"munin/internal/memory"
 	"munin/internal/msg"
+	"munin/internal/stats"
 )
 
 // Protocol-level recovery (ROADMAP "reconnect-aware protocol
@@ -52,7 +53,7 @@ func (n *Node) BeginRecovery() {
 func (n *Node) FinishRecovery() {
 	if n.recovering.CompareAndSwap(true, false) {
 		close(n.recoverCh)
-		n.C.Add("recover.done", 1)
+		n.C.Add(stats.CRecoverDone, 1)
 	}
 }
 
@@ -130,8 +131,8 @@ func (n *Node) RecoverAnnounce(setupSum uint64, setupN int) error {
 			return fmt.Errorf("munin: recover: node %d rejected announce: %s", dst, r.Str())
 		}
 	}
-	n.C.Add("recover.announced", 1)
-	n.C.Add("recover.objects", int64(len(objs)))
+	n.C.Add(stats.CRecoverAnnounced, 1)
+	n.C.Add(stats.CRecoverObjects, int64(len(objs)))
 	return nil
 }
 
@@ -151,7 +152,7 @@ const (
 // member never mutates survivor state.
 func (n *Node) handleRecover(req *msg.Msg) {
 	reject := func(detail string) {
-		n.C.Add("recover.rejected", 1)
+		n.C.Add(stats.CRecoverRejected, 1)
 		n.k.Reply(req, msg.NewBuilder(4+len(detail)).U8(recoverMismatch).Str(detail).Bytes())
 	}
 	r := msg.NewReader(req.Payload)
@@ -200,14 +201,14 @@ func (n *Node) PeerRecovered(peer msg.NodeID) {
 	if n.locks != nil {
 		n.locks.PeerRecovered(peer)
 	}
-	n.C.Add("member.recovered", 1)
+	n.C.Add(stats.CMemberRecovered, 1)
 	if copies > 0 {
-		n.C.Add("member.pruned_copies", copies)
+		n.C.Add(stats.CMemberPrunedCopies, copies)
 	}
 	if consumers > 0 {
-		n.C.Add("member.pruned_consumers", consumers)
+		n.C.Add(stats.CMemberPrunedConsumers, consumers)
 	}
 	if owners > 0 {
-		n.C.Add("member.reclaimed_owner", owners)
+		n.C.Add(stats.CMemberReclaimedOwner, owners)
 	}
 }

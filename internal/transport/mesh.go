@@ -12,6 +12,7 @@ import (
 
 	"munin/internal/bufpool"
 	"munin/internal/msg"
+	"munin/internal/stats"
 )
 
 // Mesh connect handshake. Every connection opens with a fixed-size
@@ -640,7 +641,7 @@ func (m *MeshNetwork) handleInbound(conn net.Conn) {
 	p.mu.Unlock()
 
 	if rejoin {
-		m.stats.byClass.Add("wire.reconnects", 1)
+		m.stats.byClass.Add(stats.CWireReconnects, 1)
 		m.notifyReconnect(p.node, agreed)
 	}
 	if old != nil {
@@ -670,7 +671,7 @@ func (m *MeshNetwork) readConn(p *meshPeer, conn net.Conn) {
 		if mm.To != m.topo.Self {
 			// Misrouted frame: drop, like an unknown port — but
 			// counted, so a topology misconfiguration is visible.
-			m.stats.byClass.Add("wire.misrouted", 1)
+			m.stats.byClass.Add(stats.CWireMisrouted, 1)
 			return
 		}
 		if m.ep.q.push(entry) == nil {
@@ -723,7 +724,7 @@ func (m *MeshNetwork) peerGoodbye(p *meshPeer) {
 		// departing side's Close returns (it saw the ack), this side
 		// is guaranteed to already fail new sends with *ErrPeerGone.
 		p.q.reject(&ErrPeerGone{Node: p.node})
-		m.stats.byClass.Add("wire.peer_gone", 1)
+		m.stats.byClass.Add(stats.CWirePeerGone, 1)
 		m.ep.q.pushGone(p.node)
 	}
 	// Control items bypass the soft latch; if this mesh is itself
@@ -757,7 +758,7 @@ func (m *MeshNetwork) peerDown(p *meshPeer, cause error) {
 	}
 	err := &ErrPeerDown{Node: p.node, Cause: cause}
 	p.q.fail(err)
-	m.stats.byClass.Add("wire.peer_down", 1)
+	m.stats.byClass.Add(stats.CWirePeerDown, 1)
 	m.mu.Lock()
 	var cbs []func(msg.NodeID, uint64, error)
 	cbs = append(cbs, m.onDown...)
@@ -829,7 +830,7 @@ func (m *MeshNetwork) reconnectLoop(p *meshPeer) {
 		p.q.clearFail()
 		p.resetAck()
 		p.mu.Unlock()
-		m.stats.byClass.Add("wire.reconnects", 1)
+		m.stats.byClass.Add(stats.CWireReconnects, 1)
 		m.notifyReconnect(p.node, agreed)
 		m.startReader(p, conn)
 		return
@@ -950,7 +951,7 @@ func (m *MeshNetwork) dialPeer(node msg.NodeID, epoch uint64) (conn net.Conn, ag
 // epoch. On accept, agreed is the epoch the acceptor stamped into its
 // ack — the pair's new generation.
 func (m *MeshNetwork) dialPeerOnce(node msg.NodeID, epoch uint64) (conn net.Conn, agreed uint64, accepted bool, err error) {
-	m.stats.byClass.Add("wire.dials", 1)
+	m.stats.byClass.Add(stats.CWireDials, 1)
 	c, derr := net.DialTimeout("tcp", m.topo.Addr(node), meshDialTimeout)
 	if derr != nil {
 		return nil, 0, false, derr

@@ -400,10 +400,10 @@ func (s *Stats) chargeEncoded(kind msg.Kind, size int, cost CostModel, from msg.
 // message — the coalescing the batched flush is supposed to produce,
 // counted per class so it stays observable.
 func (s *Stats) chargeWire(frames int, sharedClasses []string) {
-	s.byClass.Add("wire.writes", 1)
-	s.byClass.Add("wire.frames", int64(frames))
+	s.byClass.Add(stats.CWireWrites, 1)
+	s.byClass.Add(stats.CWireFrames, int64(frames))
 	if len(sharedClasses) > 0 {
-		s.byClass.Add("wire.coalesced", int64(len(sharedClasses)))
+		s.byClass.Add(stats.CWireCoalesced, int64(len(sharedClasses)))
 		for _, c := range sharedClasses {
 			s.byClass.Add(coalescedClassOf(c), 1)
 		}
@@ -414,8 +414,8 @@ func (s *Stats) chargeWire(frames int, sharedClasses []string) {
 // how long it waited — the writer-side backpressure that makes
 // saturated peers visible in benchmark output.
 func (s *Stats) chargeStall(ns int64) {
-	s.byClass.Add("wire.queue_stall", 1)
-	s.byClass.Add("wire.queue_stall.ns", ns)
+	s.byClass.Add(stats.CWireQueueStall, 1)
+	s.byClass.Add(stats.CWireQueueStallNs, ns)
 }
 
 // WireWrites returns the number of coalesced write operations issued to
@@ -423,44 +423,44 @@ func (s *Stats) chargeStall(ns int64) {
 // may split an enormous iovec list at IOV_MAX; that kernel-level
 // chunking is not modeled), one per message on the chan transport,
 // which has no wire to coalesce for.
-func (s *Stats) WireWrites() int64 { return s.byClass.Get("wire.writes") }
+func (s *Stats) WireWrites() int64 { return s.byClass.Get(stats.CWireWrites) }
 
 // WireFrames returns the number of frame envelopes emitted.
-func (s *Stats) WireFrames() int64 { return s.byClass.Get("wire.frames") }
+func (s *Stats) WireFrames() int64 { return s.byClass.Get(stats.CWireFrames) }
 
 // WireCoalesced returns the number of messages that shared a wire frame
 // with at least one other message.
-func (s *Stats) WireCoalesced() int64 { return s.byClass.Get("wire.coalesced") }
+func (s *Stats) WireCoalesced() int64 { return s.byClass.Get(stats.CWireCoalesced) }
 
 // WireDials returns the number of connection attempts the mesh
 // transport made (lazy per-peer dialing; retries count individually).
-func (s *Stats) WireDials() int64 { return s.byClass.Get("wire.dials") }
+func (s *Stats) WireDials() int64 { return s.byClass.Get(stats.CWireDials) }
 
 // WirePeerDown returns the number of peers whose wire has been latched
 // as failed.
-func (s *Stats) WirePeerDown() int64 { return s.byClass.Get("wire.peer_down") }
+func (s *Stats) WirePeerDown() int64 { return s.byClass.Get(stats.CWirePeerDown) }
 
 // WirePeerGone returns the number of peers that departed cleanly (a
 // goodbye frame was received and their in-flight frames drained).
-func (s *Stats) WirePeerGone() int64 { return s.byClass.Get("wire.peer_gone") }
+func (s *Stats) WirePeerGone() int64 { return s.byClass.Get(stats.CWirePeerGone) }
 
 // WireReconnects returns the number of times a latched peer's wire was
 // re-established under a reconnect policy (either side: an accepted
 // rejoin dial from the peer, or this side's successful re-dial).
-func (s *Stats) WireReconnects() int64 { return s.byClass.Get("wire.reconnects") }
+func (s *Stats) WireReconnects() int64 { return s.byClass.Get(stats.CWireReconnects) }
 
 // WireMisrouted returns the number of inbound frames whose destination
 // header named some other node — dropped, but counted, so a topology
 // misconfiguration shows up in the counter dump instead of as silence.
-func (s *Stats) WireMisrouted() int64 { return s.byClass.Get("wire.misrouted") }
+func (s *Stats) WireMisrouted() int64 { return s.byClass.Get(stats.CWireMisrouted) }
 
 // WireQueueStalls returns how many Sends blocked on a full peer send
 // queue (writer-side backpressure).
-func (s *Stats) WireQueueStalls() int64 { return s.byClass.Get("wire.queue_stall") }
+func (s *Stats) WireQueueStalls() int64 { return s.byClass.Get(stats.CWireQueueStall) }
 
 // WireQueueStallNs returns the total nanoseconds Sends spent blocked on
 // full peer send queues.
-func (s *Stats) WireQueueStallNs() int64 { return s.byClass.Get("wire.queue_stall.ns") }
+func (s *Stats) WireQueueStallNs() int64 { return s.byClass.Get(stats.CWireQueueStallNs) }
 
 // ClassMessages returns the message count for one traffic class.
 func (s *Stats) ClassMessages(class string) int64 { return s.byClass.Get(class) }

@@ -175,7 +175,7 @@ func (k *Kernel) peerEpoch(dst msg.NodeID) uint64 {
 // replies fails whole: its synchronization guarantee (every
 // destination acknowledged) can no longer be met.
 func (k *Kernel) peerDown(peer msg.NodeID, epoch uint64, err error) {
-	k.failAwaiting(err, "call.failed_peer", func(pc *pendingCall) bool {
+	k.failAwaiting(err, stats.CCallFailedPeer, func(pc *pendingCall) bool {
 		return pc.awaitingEpoch(peer, epoch)
 	})
 }
@@ -186,7 +186,7 @@ func (k *Kernel) peerDown(peer msg.NodeID, epoch uint64, err error) {
 // only calls whose replies genuinely never arrived are failed, which
 // is the race the goodbye protocol exists to close.
 func (k *Kernel) peerGone(peer msg.NodeID, err error) {
-	k.failAwaiting(err, "call.failed_gone", func(pc *pendingCall) bool {
+	k.failAwaiting(err, stats.CCallFailedGone, func(pc *pendingCall) bool {
 		return pc.awaiting(peer, false)
 	})
 }
