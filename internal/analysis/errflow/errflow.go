@@ -1,0 +1,220 @@
+// Package errflow enforces the typed-error discipline the transport
+// and protocol layers depend on. The module's failure taxonomy —
+// exported Err… sentinel variables (transport.ErrClosed) and Err…
+// struct types (*transport.ErrPeerDown, *transport.ErrPeerGone) — is
+// routinely wrapped: the reconnect path rewraps a peer's latched
+// error, handlers annotate with %w, and the vkernel surfaces remote
+// failures through its reply envelope. Identity comparison (err ==
+// ErrClosed) and concrete type assertion (err.(*ErrPeerDown)) both
+// pass the type checker and both silently stop matching the moment a
+// wrap is introduced anywhere on the path, so the analyzer forbids
+// them:
+//
+//   - an equality comparison (== or !=) between an error and a
+//     sentinel Err… variable from a munin package must be errors.Is;
+//   - a type assertion or type-switch case converting an error to a
+//     concrete munin Err… type must be errors.As.
+//
+// It also forbids discarding the error result of a blocking
+// rendezvous call (facts.Blocking): those are exactly the calls that
+// fail with ErrPeerDown when a member crashes mid-round, and a
+// dropped result turns a detectable membership failure into a silent
+// hang or stale read. Assign the error and handle (or explicitly
+// route) it; tests included — they are where the == habit breeds.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"munin/internal/analysis/facts"
+	"munin/internal/analysis/framework"
+)
+
+// Analyzer is the errflow analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "errflow",
+	Doc:  "sentinel errors matched with errors.Is/As, never == or concrete type switch; rendezvous errors never discarded",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, node)
+			case *ast.TypeAssertExpr:
+				// A TypeAssertExpr with nil Type is the guard of a type
+				// switch; its cases are checked below.
+				if node.Type != nil {
+					checkAssert(pass, node.X, node.Type)
+				}
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, node)
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, node.X)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags err == ErrSentinel / err != ErrSentinel.
+func checkComparison(pass *framework.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		id := rootIdent(side)
+		if id == nil {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !facts.IsSentinelErrorVar(obj) {
+			continue
+		}
+		fix := "errors.Is(err, " + obj.Name() + ")"
+		if be.Op == token.NEQ {
+			fix = "!" + fix
+		}
+		pass.Reportf(be.Pos(), "sentinel error %s compared with %s: wrapping breaks identity — use %s",
+			obj.Name(), be.Op, fix)
+		return
+	}
+}
+
+// checkAssert flags err.(*ErrPeerDown)-style assertions from an error
+// to a concrete sentinel type.
+func checkAssert(pass *framework.Pass, x ast.Expr, typ ast.Expr) {
+	if !isErrorExpr(pass, x) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[typ]
+	if !ok || !facts.IsSentinelErrorType(tv.Type) {
+		return
+	}
+	pass.Reportf(typ.Pos(), "type assertion on concrete error type %s: wrapping breaks it — declare a target and use errors.As(err, &target)",
+		types.TypeString(tv.Type, nil))
+}
+
+// checkTypeSwitch flags `switch err.(type)` cases naming concrete
+// sentinel types.
+func checkTypeSwitch(pass *framework.Pass, ts *ast.TypeSwitchStmt) {
+	// The guard is either `x.(type)` or `v := x.(type)`.
+	var guard ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		guard = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			guard = a.Rhs[0]
+		}
+	}
+	ta, ok := ast.Unparen(guard).(*ast.TypeAssertExpr)
+	if !ok || !isErrorExpr(pass, ta.X) {
+		return
+	}
+	for _, clause := range ts.Body.List {
+		cc := clause.(*ast.CaseClause)
+		for _, t := range cc.List {
+			tv, ok := pass.TypesInfo.Types[t]
+			if !ok || !facts.IsSentinelErrorType(tv.Type) {
+				continue
+			}
+			pass.Reportf(t.Pos(), "type switch on concrete error type %s: wrapping breaks it — use errors.As(err, &target)",
+				types.TypeString(tv.Type, nil))
+		}
+	}
+}
+
+// checkDiscardedCall flags a blocking rendezvous call used as a bare
+// statement when it returns an error.
+func checkDiscardedCall(pass *framework.Pass, x ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if !facts.IsBlocking(fn) || !lastResultIsError(fn) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of blocking call %s.%s discarded: a member crash surfaces here as ErrPeerDown — assign and handle it",
+		recvLabel(fn), fn.Name())
+}
+
+// checkBlankAssign flags `_ = k.Call(...)` / `v, _ := ...` where the
+// error position of a blocking call lands in the blank identifier.
+func checkBlankAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := framework.CalleeFunc(pass.TypesInfo, call)
+	if !facts.IsBlocking(fn) || !lastResultIsError(fn) {
+		return
+	}
+	// The error is the last result; the last LHS receives it.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(id.Pos(), "error result of blocking call %s.%s assigned to _: a member crash surfaces here as ErrPeerDown — assign and handle it",
+			recvLabel(fn), fn.Name())
+	}
+}
+
+// rootIdent returns the identifier naming expr, looking through a
+// package selector (pkg.ErrClosed) or a plain ident (ErrClosed).
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// isErrorExpr reports whether e has static type error (the interface).
+func isErrorExpr(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+// lastResultIsError reports whether fn's final result is error.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// recvLabel renders fn's receiver type name for messages ("Kernel" for
+// (*Kernel).Call, the package name for plain functions).
+func recvLabel(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := types.Unalias(t).(*types.Named); ok {
+			return n.Obj().Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name()
+	}
+	return "?"
+}

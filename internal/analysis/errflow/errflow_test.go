@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/errflow"
+	"munin/internal/analysis/framework"
+)
+
+func TestErrflow(t *testing.T) {
+	framework.RunFixture(t, errflow.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,66 @@
+// Fixture for the errflow analyzer: sentinel matching discipline and
+// discarded rendezvous errors, against the real transport/vkernel
+// taxonomy (loaded through export data).
+package a
+
+import (
+	"errors"
+
+	"munin/internal/transport"
+	"munin/internal/vkernel"
+)
+
+// badEq: identity comparison with a sentinel breaks under wrapping.
+func badEq(err error) bool {
+	return err == transport.ErrClosed // want `sentinel error ErrClosed compared with ==: wrapping breaks identity — use errors\.Is\(err, ErrClosed\)`
+}
+
+// badNeq: same for inequality.
+func badNeq(err error) bool {
+	return err != transport.ErrClosed // want `sentinel error ErrClosed compared with !=: wrapping breaks identity — use !errors\.Is\(err, ErrClosed\)`
+}
+
+// goodIs: the sanctioned match.
+func goodIs(err error) bool {
+	return errors.Is(err, transport.ErrClosed)
+}
+
+// badAssert: concrete type assertion on a typed error.
+func badAssert(err error) bool {
+	_, ok := err.(*transport.ErrPeerDown) // want `type assertion on concrete error type \*munin/internal/transport\.ErrPeerDown: wrapping breaks it`
+	return ok
+}
+
+// badSwitch: concrete sentinel type in a type-switch case.
+func badSwitch(err error) string {
+	switch err.(type) {
+	case *transport.ErrPeerGone: // want `type switch on concrete error type \*munin/internal/transport\.ErrPeerGone: wrapping breaks it`
+		return "gone"
+	}
+	return ""
+}
+
+// goodAs: the sanctioned extraction.
+func goodAs(err error) (int, bool) {
+	var down *transport.ErrPeerDown
+	if errors.As(err, &down) {
+		return int(down.Node), true
+	}
+	return 0, false
+}
+
+// badDiscard: a parked rendezvous whose failure is thrown away.
+func badDiscard(k *vkernel.Kernel, p []byte) {
+	k.Call(1, 0x0601, p) // want `error result of blocking call Kernel\.Call discarded`
+}
+
+// badBlank: same failure, laundered through the blank identifier.
+func badBlank(k *vkernel.Kernel, p []byte) {
+	_, _ = k.Call(1, 0x0601, p) // want `error result of blocking call Kernel\.Call assigned to _`
+}
+
+// goodHandle: the error is assigned and routed.
+func goodHandle(k *vkernel.Kernel, p []byte) error {
+	_, err := k.Call(1, 0x0601, p)
+	return err
+}

@@ -1,0 +1,541 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Program is the whole-program view over the analyzed packages: every
+// declared function, a call graph between them (class-hierarchy
+// analysis with receiver-type narrowing: concrete-receiver calls
+// resolve to the one method, interface-method calls fan out to every
+// analyzed concrete type implementing the interface), and per-function
+// summaries computed bottom-up over the graph's strongly connected
+// components. Analyzers with a RunProgram hook receive it via
+// ProgramPass.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// ByFunc indexes every analyzed function declaration by FuncKey.
+	// Keys, not *types.Func identity: each analyzed package sees its
+	// dependencies through export data, so the same symbol is a
+	// distinct object in every importing package.
+	ByFunc map[string]*FuncNode
+	// Nodes lists the same functions in source order (deterministic
+	// iteration for stable diagnostics and artifacts).
+	Nodes []*FuncNode
+
+	concrete []*types.Named
+}
+
+// FuncNode is one analyzed function in the call graph.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// Calls are the body's resolved call sites, in source order.
+	// Function-literal bodies are excluded: a literal's execution is
+	// not part of calling its enclosing function (it may run on
+	// another goroutine, or as a registered handler long after).
+	Calls []*CallSite
+
+	// Summary is the bottom-up interprocedural summary; valid after
+	// BuildProgram returns.
+	Summary Summary
+
+	// Tarjan bookkeeping.
+	index, lowlink int
+	onStack        bool
+}
+
+// Name renders the function for diagnostics: Type.Method or func name,
+// package-qualified.
+func (n *FuncNode) Name() string { return funcLabel(n.Fn) }
+
+func funcLabel(fn *types.Func) string {
+	if fn == nil {
+		return "<unknown>"
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		if p := fn.Pkg().Path(); p != "" {
+			name = shortPkg(p) + "." + name
+		}
+	}
+	return name
+}
+
+// FuncKey returns a stable program-wide key for a function or method:
+// "pkgpath.Recv.Name" (receiver pointerness ignored, generic origin).
+// The same symbol reached from source and from export data — distinct
+// *types.Func objects — maps to one key, which is what makes
+// cross-package call-graph edges resolve.
+func FuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	fn = fn.Origin()
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			key = named.Obj().Name() + "." + key
+		}
+	}
+	if fn.Pkg() != nil {
+		key = fn.Pkg().Path() + "." + key
+	}
+	return key
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// CallSite is one resolved call expression inside a function body.
+type CallSite struct {
+	Call *ast.CallExpr
+	// Callees are the analyzed functions this call can reach (one for
+	// a static call, several for an interface-method call under CHA,
+	// none for calls through function values).
+	Callees []*FuncNode
+	// External is the resolved callee when it lives outside the
+	// analyzed packages (export-data only, no body).
+	External *types.Func
+	// InGo / InDefer mark calls that are goroutine launches or
+	// deferred: a `go` call runs concurrently (the caller does not
+	// block and holds no locks on the spawned side), a deferred call
+	// runs at function exit.
+	InGo, InDefer bool
+}
+
+// Summary is one function's interprocedural summary, computed bottom-up
+// over SCCs: whether calling it can park the caller on a remote
+// rendezvous (with a witness), which canonical lock keys it may
+// acquire (directly or transitively), and whether it returns an error.
+type Summary struct {
+	// Blocks reports that some path through the function reaches a
+	// registered blocking rendezvous (see SetBlockingOracle).
+	Blocks bool
+	// BlockSite is the call inside this function that leads to the
+	// rendezvous; BlockVia is the analyzed callee it goes through
+	// (nil when BlockSite is itself the registry hit).
+	BlockSite *CallSite
+	BlockVia  *FuncNode
+
+	// Acquires maps canonical lock keys (LockKeyOf) the function may
+	// acquire anywhere inside, directly or through calls, to a
+	// witness.
+	Acquires map[string]AcquireInfo
+
+	// ReturnsError reports that the function's last result is an
+	// error.
+	ReturnsError bool
+}
+
+// AcquireInfo is the witness for one summarized lock acquisition.
+type AcquireInfo struct {
+	Pos token.Pos
+	// Via is the analyzed callee the acquisition happens through (nil
+	// for a Lock call directly in this function's body).
+	Via *FuncNode
+}
+
+// BlockChain renders the call chain from n down to the blocking
+// rendezvous, for diagnostics: "f → g → vkernel.Call".
+func (n *FuncNode) BlockChain() string {
+	var parts []string
+	seen := map[*FuncNode]bool{}
+	cur := n
+	for cur != nil && !seen[cur] {
+		seen[cur] = true
+		parts = append(parts, cur.Name())
+		s := cur.Summary
+		if s.BlockVia == nil {
+			if s.BlockSite != nil && s.BlockSite.External != nil {
+				parts = append(parts, funcLabel(s.BlockSite.External))
+			}
+			break
+		}
+		cur = s.BlockVia
+	}
+	return strings.Join(parts, " → ")
+}
+
+// blockingOracle classifies external (and analyzed) callees as
+// blocking rendezvous entry points. Registered once by the repo's
+// facts package; tests may override.
+var blockingOracle = func(*types.Func) bool { return false }
+
+// SetBlockingOracle installs the predicate BuildProgram uses to seed
+// blocking summaries.
+func SetBlockingOracle(f func(*types.Func) bool) {
+	if f != nil {
+		blockingOracle = f
+	}
+}
+
+// BuildProgram indexes the packages' functions, resolves their call
+// sites (CHA with receiver-type narrowing), and computes summaries
+// bottom-up over SCCs.
+func BuildProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	p := &Program{Fset: fset, Pkgs: pkgs, ByFunc: map[string]*FuncNode{}}
+
+	// Pass 1: index every declared function with a body.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg, index: -1}
+				p.ByFunc[FuncKey(fn)] = node
+				p.Nodes = append(p.Nodes, node)
+			}
+		}
+	}
+	sort.Slice(p.Nodes, func(i, j int) bool { return p.Nodes[i].Decl.Pos() < p.Nodes[j].Decl.Pos() })
+
+	// Concrete named types for interface-call fan-out.
+	p.concrete = p.concreteTypes()
+
+	// Pass 2: resolve call sites.
+	for _, node := range p.Nodes {
+		p.collectCalls(node)
+	}
+
+	// Pass 3: summaries, bottom-up over SCCs.
+	p.summarize()
+	return p
+}
+
+// concreteTypes collects every non-interface named type declared in
+// the analyzed packages, for CHA fan-out of interface method calls.
+func (p *Program) concreteTypes() []*types.Named {
+	var out []*types.Named
+	for _, pkg := range p.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named.Underlying()) {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// collectCalls walks one function body recording resolved call sites.
+// Function-literal bodies are skipped (see FuncNode.Calls); go/defer
+// statements mark their direct call.
+func (p *Program) collectCalls(node *FuncNode) {
+	var walk func(n ast.Node, inGo, inDefer bool)
+	walk = func(n ast.Node, inGo, inDefer bool) {
+		ast.Inspect(n, func(nn ast.Node) bool {
+			switch st := nn.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.GoStmt:
+				walk(st.Call, true, inDefer)
+				return false
+			case *ast.DeferStmt:
+				walk(st.Call, inGo, true)
+				return false
+			case *ast.CallExpr:
+				callees, external := p.Resolve(node.Pkg.Info, st)
+				if len(callees) == 0 && external == nil {
+					return true // call through a function value: unresolvable
+				}
+				node.Calls = append(node.Calls, &CallSite{
+					Call: st, Callees: callees, External: external,
+					InGo: inGo, InDefer: inDefer,
+				})
+			}
+			return true
+		})
+	}
+	walk(node.Decl.Body, false, false)
+}
+
+// Resolve resolves one call expression to its possible analyzed
+// callees (CHA with receiver-type narrowing for interface methods) or
+// its external callee. Both results are empty for calls through
+// function values.
+func (p *Program) Resolve(info *types.Info, call *ast.CallExpr) (callees []*FuncNode, external *types.Func) {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type().Underlying()) {
+		// Interface method: CHA over analyzed concrete types
+		// implementing the interface. (A concrete-typed receiver
+		// expression already resolves to the concrete method via the
+		// type checker, so reaching here means the static receiver
+		// really is an interface.)
+		iface := sig.Recv().Type().Underlying().(*types.Interface)
+		for _, named := range p.concrete {
+			m := methodOn(named, fn.Name())
+			if m == nil {
+				continue
+			}
+			if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			if tgt := p.ByFunc[FuncKey(m)]; tgt != nil {
+				callees = append(callees, tgt)
+			}
+		}
+		if len(callees) == 0 {
+			return nil, fn
+		}
+		return callees, nil
+	}
+	if tgt := p.ByFunc[FuncKey(fn)]; tgt != nil {
+		return []*FuncNode{tgt}, nil
+	}
+	return nil, fn
+}
+
+// methodOn finds the declared method named name on named (value or
+// pointer receiver).
+func methodOn(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// SCCs returns the program's strongly connected components in reverse
+// topological order (callees before callers), Tarjan's algorithm.
+func (p *Program) SCCs() [][]*FuncNode {
+	var (
+		sccs    [][]*FuncNode
+		stack   []*FuncNode
+		counter int
+	)
+	var strongconnect func(v *FuncNode)
+	strongconnect = func(v *FuncNode) {
+		v.index = counter
+		v.lowlink = counter
+		counter++
+		stack = append(stack, v)
+		v.onStack = true
+		for _, site := range v.Calls {
+			for _, w := range site.Callees {
+				if w.index < 0 {
+					strongconnect(w)
+					if w.lowlink < v.lowlink {
+						v.lowlink = w.lowlink
+					}
+				} else if w.onStack && w.index < v.lowlink {
+					v.lowlink = w.index
+				}
+			}
+		}
+		if v.lowlink == v.index {
+			var scc []*FuncNode
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				w.onStack = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range p.Nodes {
+		v.index = -1
+		v.onStack = false
+	}
+	for _, v := range p.Nodes {
+		if v.index < 0 {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}
+
+// summarize computes Summary for every function, bottom-up: Tarjan
+// emits SCCs callees-first, and within one SCC (mutual recursion) the
+// members iterate to a fixpoint — Blocks and Acquires are monotone
+// unions, so convergence is at most |SCC| rounds.
+func (p *Program) summarize() {
+	for _, scc := range p.SCCs() {
+		for {
+			changed := false
+			for _, fn := range scc {
+				if p.summarizeOne(fn) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// summarizeOne recomputes one function's summary from its body and its
+// callees' current summaries, reporting whether it grew.
+func (p *Program) summarizeOne(node *FuncNode) bool {
+	s := &node.Summary
+	changed := false
+	if s.Acquires == nil {
+		s.Acquires = map[string]AcquireInfo{}
+		if sig, ok := node.Fn.Type().(*types.Signature); ok {
+			res := sig.Results()
+			if res.Len() > 0 {
+				errType := types.Universe.Lookup("error").Type()
+				s.ReturnsError = types.Identical(res.At(res.Len()-1).Type(), errType)
+			}
+		}
+		// Direct lock acquisitions in the body.
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, locked, ok := MutexOp(node.Pkg.Info, call); ok && locked && key != "" {
+				if _, have := s.Acquires[key]; !have {
+					s.Acquires[key] = AcquireInfo{Pos: call.Pos()}
+				}
+			}
+			return true
+		})
+		changed = true
+	}
+	for _, site := range node.Calls {
+		if site.InGo {
+			continue // runs concurrently: not this function's behavior
+		}
+		if !s.Blocks && !site.InDefer {
+			if site.External != nil && blockingOracle(site.External) {
+				s.Blocks, s.BlockSite, s.BlockVia = true, site, nil
+				changed = true
+			}
+			for _, callee := range site.Callees {
+				if blockingOracle(callee.Fn) {
+					s.Blocks, s.BlockSite, s.BlockVia = true, site, nil
+					changed = true
+					break
+				}
+				if callee.Summary.Blocks {
+					s.Blocks, s.BlockSite, s.BlockVia = true, site, callee
+					changed = true
+					break
+				}
+			}
+		}
+		for _, callee := range site.Callees {
+			for key := range callee.Summary.Acquires {
+				if _, have := s.Acquires[key]; !have {
+					s.Acquires[key] = AcquireInfo{Pos: site.Call.Pos(), Via: callee}
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// MutexOp matches `X.Lock()` / `X.RLock()` / `X.Unlock()` / `X.RUnlock()`
+// on sync mutexes, returning the canonical lock key (LockKeyOf) and
+// whether the call acquires.
+func MutexOp(info *types.Info, call *ast.CallExpr) (key string, locked, ok bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	isMutex := FuncIs(fn, "sync", "Mutex", fn.Name()) ||
+		FuncIs(fn, "sync", "RWMutex", fn.Name())
+	if !isMutex {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return LockKeyOf(info, sel.X), true, true
+	case "Unlock", "RUnlock":
+		return LockKeyOf(info, sel.X), false, true
+	}
+	return "", false, false
+}
+
+// LockKeyOf canonicalizes a mutex expression to a stable program-wide
+// key: struct fields collapse to "pkgpath.Type.field" (every instance
+// of the same field is one lock-order node), package vars to
+// "pkgpath.var", and locals to "pkgpath.local/name" (distinct
+// functions' locals never alias, but they still participate in cycle
+// checks through calls).
+func LockKeyOf(info *types.Info, mutexExpr ast.Expr) string {
+	e := ast.Unparen(mutexExpr)
+	switch ex := e.(type) {
+	case *ast.SelectorExpr:
+		// Field selector: key by the owning named type.
+		if sel, ok := info.Selections[ex]; ok && sel.Kind() == types.FieldVal {
+			field := sel.Obj()
+			if owner := namedOf(sel.Recv()); owner != nil && owner.Obj().Pkg() != nil {
+				return owner.Obj().Pkg().Path() + "." + owner.Obj().Name() + "." + field.Name()
+			}
+		}
+		// Qualified package var: pkg.Var.
+		if obj := ObjectOf(info, ex.Sel); obj != nil && obj.Pkg() != nil {
+			if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	case *ast.Ident:
+		obj := ObjectOf(info, ex)
+		if obj == nil || obj.Pkg() == nil {
+			return ExprString(e)
+		}
+		if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return obj.Pkg().Path() + ".local/" + obj.Name()
+	}
+	return ExprString(e)
+}
+
+// LockLabel shortens a canonical lock key for diagnostics:
+// "munin/internal/protocol.Obj.mu" → "protocol.Obj.mu".
+func LockLabel(key string) string {
+	return strings.TrimPrefix(key, "munin/internal/")
+}

@@ -1,0 +1,68 @@
+package framework
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// TestSummaryConvergenceMutualRecursion pins the bottom-up SCC
+// fixpoint: facts seeded in one member of a mutual-recursion cycle
+// (a blocking call in even's base case, a lock acquisition in ping's)
+// must propagate to every member of the cycle — and to nothing outside
+// it.
+func TestSummaryConvergenceMutualRecursion(t *testing.T) {
+	prev := blockingOracle
+	defer func() { blockingOracle = prev }()
+	SetBlockingOracle(func(fn *types.Func) bool {
+		return fn != nil && fn.Name() == "block" && fn.Pkg() != nil && fn.Pkg().Path() == "recursion"
+	})
+
+	pkg, fset, err := LoadDir("testdata/src/recursion", moduleRoot(t, "testdata/src/recursion"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	prog := BuildProgram(fset, []*Package{pkg})
+
+	node := func(key string) *FuncNode {
+		t.Helper()
+		n := prog.ByFunc[key]
+		if n == nil {
+			t.Fatalf("no node for %q (have %d nodes)", key, len(prog.Nodes))
+		}
+		return n
+	}
+
+	for _, key := range []string{"recursion.even", "recursion.odd"} {
+		n := node(key)
+		if !n.Summary.Blocks {
+			t.Errorf("%s: Blocks = false, want true (blocking fact must cross the recursion cycle)", key)
+		}
+	}
+	if chain := node("recursion.odd").BlockChain(); !strings.Contains(chain, "recursion.even") {
+		t.Errorf("odd's block chain %q does not pass through even", chain)
+	}
+
+	for _, key := range []string{"recursion.ping", "recursion.pong"} {
+		n := node(key)
+		if _, ok := n.Summary.Acquires["recursion.guard.mu"]; !ok {
+			t.Errorf("%s: Acquires lacks recursion.guard.mu (got %v)", key, keysOf(n.Summary.Acquires))
+		}
+	}
+	if via := node("recursion.pong").Summary.Acquires["recursion.guard.mu"].Via; via == nil {
+		t.Errorf("pong's acquisition of guard.mu should be witnessed through a callee, got direct")
+	}
+
+	s := node("recursion.straight").Summary
+	if s.Blocks || len(s.Acquires) != 0 {
+		t.Errorf("straight: summary smeared by the fixpoint: Blocks=%v Acquires=%v", s.Blocks, keysOf(s.Acquires))
+	}
+}
+
+func keysOf(m map[string]AcquireInfo) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

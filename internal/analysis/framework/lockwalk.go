@@ -1,0 +1,166 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockWalker walks one function body tracking the set of held mutexes
+// (canonical LockKeyOf keys) with the same branch discipline the
+// lockhold analyzer established: branches see a copy of the held set
+// (a conditional Lock does not leak past its branch), a deferred
+// Unlock keeps the mutex held to the end of the function, goroutine
+// launches and function literals run under their own empty lock set,
+// and deferred calls are skipped (they run at exit, after this body's
+// explicit unlocks).
+//
+// Callbacks fire in source order with the held set at that point
+// (key → acquisition position). The maps handed to callbacks are live
+// walker state: copy, don't retain.
+type LockWalker struct {
+	Info *types.Info
+
+	// OnAcquire fires for every mutex Lock/RLock, with the held set
+	// BEFORE the acquisition.
+	OnAcquire func(key string, call *ast.CallExpr, held map[string]token.Pos)
+	// OnCall fires for every non-mutex call in always-evaluated
+	// positions, with the current held set.
+	OnCall func(call *ast.CallExpr, held map[string]token.Pos)
+}
+
+// Walk runs the walker over one function or literal body.
+func (w *LockWalker) Walk(body *ast.BlockStmt) {
+	w.stmts(body.List, map[string]token.Pos{})
+}
+
+func (w *LockWalker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *LockWalker) stmt(s ast.Stmt, held map[string]token.Pos) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if key, locked, ok := MutexOp(w.Info, call); ok {
+				if locked {
+					if w.OnAcquire != nil {
+						w.OnAcquire(key, call, held)
+					}
+					held[key] = st.Pos()
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.exprCalls(st.X, held)
+	case *ast.DeferStmt:
+		// Deferred Unlock: the mutex stays held below; deferred calls
+		// run at exit and are not walked.
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.exprCalls(r, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.exprCalls(r, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		w.exprCalls(st.Cond, held)
+		w.stmts(st.Body.List, cloneHeld(held))
+		if st.Else != nil {
+			w.stmt(st.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.exprCalls(st.Cond, held)
+		}
+		w.stmts(st.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		w.exprCalls(st.X, held)
+		w.stmts(st.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.exprCalls(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			w.stmts(c.(*ast.CommClause).Body, cloneHeld(held))
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine runs under its own empty lock set; its body
+		// (when a literal) is walked separately by the analyzer.
+	case *ast.SendStmt:
+		w.exprCalls(st.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprCalls(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exprCalls fires OnAcquire/OnCall for calls nested in an
+// always-evaluated expression. Inline acquisitions inside expressions
+// (rare) report but do not update the held set — matching statement
+// granularity keeps branch copies sound.
+func (w *LockWalker) exprCalls(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, locked, isLock := MutexOp(w.Info, call); isLock {
+			if locked && w.OnAcquire != nil {
+				w.OnAcquire(key, call, held)
+			}
+			return true
+		}
+		if w.OnCall != nil {
+			w.OnCall(call, held)
+		}
+		return true
+	})
+}
+
+func cloneHeld(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

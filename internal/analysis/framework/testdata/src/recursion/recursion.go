@@ -1,0 +1,50 @@
+// Fixture for the summary-convergence test: mutually recursive
+// functions whose blocking and lock-acquisition facts must propagate
+// around the recursion cycle to a fixpoint.
+package recursion
+
+import "sync"
+
+// block is classified as a blocking rendezvous by the test's oracle.
+func block() {}
+
+// even/odd: mutual recursion reaching block() only through even's base
+// case — both must summarize as blocking.
+func even(n int) bool {
+	if n == 0 {
+		block()
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+type guard struct{ mu sync.Mutex }
+
+// ping/pong: mutual recursion where only ping's base case acquires the
+// lock — both must summarize as acquiring recursion.guard.mu.
+func ping(g *guard, n int) {
+	if n == 0 {
+		g.mu.Lock()
+		g.mu.Unlock()
+		return
+	}
+	pong(g, n-1)
+}
+
+func pong(g *guard, n int) {
+	if n == 0 {
+		return
+	}
+	ping(g, n-1)
+}
+
+// straight never blocks and never locks: the fixpoint must not smear
+// facts onto functions outside the cycle.
+func straight(n int) int { return n + 1 }

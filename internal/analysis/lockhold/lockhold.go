@@ -29,11 +29,16 @@
 //     not the variable name, so an object mutex spelled `d.mu` would
 //     still be flagged.
 //
-// The analysis is intraprocedural and syntactic over type-checked
-// ASTs: lock state is tracked per statement list, branches see a copy
-// (a conditional Lock does not leak past its branch), a deferred
-// Unlock keeps the mutex held to the end of the function, and function
-// literals start with an empty lock set (they run elsewhere).
+// The per-package analysis is intraprocedural and syntactic over
+// type-checked ASTs: lock state is tracked per statement list,
+// branches see a copy (a conditional Lock does not leak past its
+// branch), a deferred Unlock keeps the mutex held to the end of the
+// function, and function literals start with an empty lock set (they
+// run elsewhere). A whole-program pass (RunProgram) extends the same
+// rule transitively: a call made under a data mutex is flagged when
+// the callee's bottom-up summary shows SOME path through it reaches a
+// blocking rendezvous, however many frames down — the direct-call
+// check alone is one helper-extraction away from useless.
 package lockhold
 
 import (
@@ -42,39 +47,17 @@ import (
 	"sort"
 	"strings"
 
+	"munin/internal/analysis/facts"
 	"munin/internal/analysis/framework"
 )
 
 // Analyzer is the lockhold analyzer.
 var Analyzer = &framework.Analyzer{
-	Name: "lockhold",
-	Doc:  "no blocking vkernel/dlock/gate call while a data mutex is held; fence mutexes (relayMu/pushMu) multi-acquired only in sorted ID order",
-	Run:  run,
+	Name:       "lockhold",
+	Doc:        "no blocking vkernel/dlock/gate call (even transitively) while a data mutex is held; fence mutexes (relayMu/pushMu) multi-acquired only in sorted ID order",
+	Run:        run,
+	RunProgram: runProgram,
 }
-
-// blocking is the registry of callees that park the caller on a remote
-// round trip or rendezvous.
-var blocking = []struct{ pkg, recv, name string }{
-	{"munin/internal/vkernel", "Kernel", "Call"},
-	{"munin/internal/vkernel", "Kernel", "MulticastCall"},
-	{"munin/internal/vkernel", "Kernel", "CallInline"},
-	{"munin/internal/vkernel", "Kernel", "Flush"},
-	{"munin/internal/vkernel", "Pending", "Wait"},
-	{"munin/internal/transport", "Endpoint", "Flush"},
-	{"munin/internal/protocol", "Node", "FlushQueue"},
-	{"munin/internal/protocol", "Node", "TryFlushQueue"},
-	{"munin/internal/dlock", "Service", "Acquire"},
-	{"munin/internal/dlock", "Service", "Release"},
-	{"munin/internal/dlock", "Service", "BarrierWait"},
-	{"munin/internal/dlock", "Service", "FetchAdd"},
-	{"munin/internal/core", "System", "runGate"},
-	{"munin/internal/core", "System", "resyncGate"},
-	{"sync", "WaitGroup", "Wait"},
-}
-
-// fenceNames are the protocol fence mutex field names, exempt from the
-// hold-across-blocking rule but subject to the sorted-order rule.
-var fenceNames = map[string]bool{"relayMu": true, "pushMu": true}
 
 func run(pass *framework.Pass) error {
 	for _, file := range pass.Files {
@@ -299,7 +282,7 @@ func (w *walker) exemptMutex(mutexExpr ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	if fenceNames[sel.Sel.Name] {
+	if facts.FenceNames[sel.Sel.Name] {
 		return true
 	}
 	if tv, ok := w.pass.TypesInfo.Types[sel.X]; ok &&
@@ -310,16 +293,57 @@ func (w *walker) exemptMutex(mutexExpr ast.Expr) bool {
 }
 
 func (w *walker) isBlocking(call *ast.CallExpr) bool {
-	fn := framework.CalleeFunc(w.pass.TypesInfo, call)
-	if fn == nil {
-		return false
+	return facts.IsBlocking(framework.CalleeFunc(w.pass.TypesInfo, call))
+}
+
+// runProgram is the transitive extension of the hold-across-blocking
+// rule: under a held data mutex, flag any call whose callee's
+// whole-program summary reaches a blocking rendezvous some frames
+// down. Directly blocking callees are skipped here — the
+// intraprocedural pass already reports those with a sharper message.
+func runProgram(pp *framework.ProgramPass) error {
+	for _, node := range pp.Prog.Nodes {
+		pkg := node.Pkg
+		w := &framework.LockWalker{
+			Info: pkg.Info,
+			OnCall: func(call *ast.CallExpr, held map[string]token.Pos) {
+				dataKeys := heldDataKeys(held)
+				if len(dataKeys) == 0 {
+					return
+				}
+				callees, _ := pp.Prog.Resolve(pkg.Info, call)
+				for _, callee := range callees {
+					if facts.IsBlocking(callee.Fn) {
+						continue // direct hit: the Run pass reports it
+					}
+					if !callee.Summary.Blocks {
+						continue
+					}
+					key := dataKeys[0]
+					pp.Reportf(call.Pos(), "call to %s while holding mutex %s (locked at line %d) transitively blocks: %s — release the mutex before the round trip",
+						callee.Name(), framework.LockLabel(key),
+						pp.Fset.Position(held[key]).Line, callee.BlockChain())
+					return
+				}
+			},
+		}
+		w.Walk(node.Decl.Body)
 	}
-	for _, b := range blocking {
-		if framework.FuncIs(fn, b.pkg, b.recv, b.name) {
-			return true
+	return nil
+}
+
+// heldDataKeys filters the held set down to data mutexes: fences and
+// the documented serialization exemption may be held across round
+// trips.
+func heldDataKeys(held map[string]token.Pos) []string {
+	var keys []string
+	for k := range held {
+		if !facts.IsExemptFromBlockingRule(k) {
+			keys = append(keys, k)
 		}
 	}
-	return false
+	sort.Strings(keys)
+	return keys
 }
 
 // noteFence records direct (non-loop) fence acquisitions for the
@@ -404,7 +428,7 @@ func isFence(key string) bool {
 	if i := strings.LastIndexByte(key, '.'); i >= 0 {
 		key = key[i+1:]
 	}
-	return fenceNames[key]
+	return facts.FenceNames[key]
 }
 
 func clone(m map[string]token.Pos) map[string]token.Pos {

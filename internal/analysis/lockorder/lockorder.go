@@ -1,0 +1,356 @@
+// Package lockorder implements the whole-program lock-acquisition-order
+// analyzer. It constructs the global mutex acquisition-order graph over
+// every analyzed package — nodes are lock sites keyed by struct field
+// (framework.LockKeyOf collapses every instance of protocol.Obj.mu to
+// one node), edges mean "held A while acquiring B", including
+// acquisitions that happen one or more calls below the holding frame
+// (via the framework's bottom-up Acquires summaries) — and enforces two
+// rules on it:
+//
+//   - The graph must be acyclic. A cycle means two executions can
+//     acquire the same pair of locks in opposite orders — the classic
+//     deadlock shape a 256-member mesh turns from "unlikely" into
+//     "weekly". Every cycle is reported once, with the witness path
+//     for each edge (who held what where, and through which call the
+//     nested acquisition happens).
+//
+//   - Edges between locks in the documented hierarchy
+//     (facts.LockLevels) must go from a strictly lower level to a
+//     higher one. The hierarchy pins the order the tree actually uses,
+//     so reordering a guarded pair fails the build immediately — even
+//     before a second witness path closes a cycle.
+//
+// Same-key nesting (holding one protocol.Obj.mu while acquiring
+// another instance of it) is reported as its own diagnostic: field
+// keying cannot distinguish instances, and instance-order discipline
+// (sorted-ID loops) is exactly what the lockhold fence rules exist
+// for, so any new same-key nesting needs that treatment or a
+// restructure.
+//
+// The analyzer also emits the graph as a DOT artifact
+// ("lockorder.dot"), uploaded by CI and embedded in
+// docs/ARCHITECTURE.md, so the global order is documentation that
+// cannot go stale.
+package lockorder
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"munin/internal/analysis/facts"
+	"munin/internal/analysis/framework"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:       "lockorder",
+	Doc:        "whole-program mutex acquisition-order graph: no cycles, documented hierarchy respected, same-key nesting flagged",
+	RunProgram: run,
+}
+
+// edge is one "held From while acquiring To" observation with its
+// first witness.
+type edge struct {
+	from, to string
+	pos      token.Pos           // the acquiring site (or the call leading to it)
+	fn       string              // function holding the lock
+	via      *framework.FuncNode // callee the acquisition happens through (nil = direct)
+	heldAt   token.Pos           // where From was acquired
+}
+
+type graph struct {
+	edges map[[2]string]*edge
+	nodes map[string]bool
+}
+
+func newGraph() *graph {
+	return &graph{edges: map[[2]string]*edge{}, nodes: map[string]bool{}}
+}
+
+func (g *graph) add(e *edge) {
+	g.nodes[e.from] = true
+	g.nodes[e.to] = true
+	k := [2]string{e.from, e.to}
+	if _, ok := g.edges[k]; !ok {
+		g.edges[k] = e
+	}
+}
+
+func run(pp *framework.ProgramPass) error {
+	g := newGraph()
+
+	// Walk every declared function, then every function literal
+	// (handlers, goroutine bodies) with its own empty lock set.
+	for _, node := range pp.Prog.Nodes {
+		collectEdges(pp, node.Pkg, node.Decl.Body, node.Name(), g)
+	}
+	for _, pkg := range pp.Prog.Pkgs {
+		for _, file := range pkg.Files {
+			collectFuncLits(pp, pkg, file, g)
+		}
+	}
+
+	reportSameKeyNesting(pp, g)
+	reportHierarchyViolations(pp, g)
+	reportCycles(pp, g)
+
+	pp.SetArtifact("lockorder.dot", dot(g))
+	return nil
+}
+
+// collectEdges walks one body with the branch-sensitive lock walker,
+// adding direct edges at every acquisition and summary edges at every
+// call made while holding locks.
+func collectEdges(pp *framework.ProgramPass, pkg *framework.Package, body *ast.BlockStmt, fname string, g *graph) {
+	w := &framework.LockWalker{
+		Info: pkg.Info,
+		OnAcquire: func(key string, call *ast.CallExpr, held map[string]token.Pos) {
+			if key == "" {
+				return
+			}
+			for from, at := range held {
+				g.add(&edge{from: from, to: key, pos: call.Pos(), fn: fname, heldAt: at})
+			}
+		},
+		OnCall: func(call *ast.CallExpr, held map[string]token.Pos) {
+			if len(held) == 0 {
+				return
+			}
+			callees, _ := pp.Prog.Resolve(pkg.Info, call)
+			for _, callee := range callees {
+				for key, acq := range callee.Summary.Acquires {
+					for from, at := range held {
+						g.add(&edge{from: from, to: key, pos: call.Pos(), fn: fname, via: callee, heldAt: at})
+					}
+					_ = acq
+				}
+			}
+		},
+	}
+	w.Walk(body)
+}
+
+// collectFuncLits walks function literals as their own roots: their
+// bodies run under an empty lock set of their own (the lock walker of
+// the enclosing function skips them).
+func collectFuncLits(pp *framework.ProgramPass, pkg *framework.Package, file *ast.File, g *graph) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		pos := pp.Fset.Position(lit.Pos())
+		collectEdges(pp, pkg, lit.Body, fmt.Sprintf("func literal at %s:%d", pos.Filename, pos.Line), g)
+		return true
+	})
+}
+
+// reportSameKeyNesting flags edges A→A: two instances of the same lock
+// field nested. Fence mutexes are exempt — their sorted-ID loop
+// discipline is enforced by lockhold.
+func reportSameKeyNesting(pp *framework.ProgramPass, g *graph) {
+	for _, e := range sortedEdges(g) {
+		if e.from != e.to || facts.IsFenceKey(e.from) {
+			continue
+		}
+		pp.Reportf(e.pos, "nested acquisition of %s while an instance of it is already held (in %s%s): same-field nesting cannot be ordered by the hierarchy — use a sorted-ID loop or restructure",
+			framework.LockLabel(e.from), e.fn, viaSuffix(e))
+	}
+}
+
+// reportHierarchyViolations flags edges that contradict the documented
+// lock hierarchy.
+func reportHierarchyViolations(pp *framework.ProgramPass, g *graph) {
+	for _, e := range sortedEdges(g) {
+		if e.from == e.to {
+			continue
+		}
+		lf, okf := facts.LockLevels[e.from]
+		lt, okt := facts.LockLevels[e.to]
+		if !okf || !okt {
+			continue
+		}
+		if lf > lt {
+			pp.Reportf(e.pos, "lock order violation: %s (level %d) acquired while holding %s (level %d) in %s%s — the documented hierarchy (facts.LockLevels) requires the opposite order",
+				framework.LockLabel(e.to), lt, framework.LockLabel(e.from), lf, e.fn, viaSuffix(e))
+		} else if lf == lt {
+			pp.Reportf(e.pos, "unordered lock pair: %s and %s share hierarchy level %d but nest in %s%s — move one to its own level in facts.LockLevels or restructure",
+				framework.LockLabel(e.from), framework.LockLabel(e.to), lf, e.fn, viaSuffix(e))
+		}
+	}
+}
+
+// reportCycles finds strongly connected components of size > 1 and
+// reports each once with both witness paths.
+func reportCycles(pp *framework.ProgramPass, g *graph) {
+	adj := map[string][]string{}
+	for _, e := range sortedEdges(g) {
+		if e.from != e.to {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	for _, scc := range stringSCCs(g, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		// Reconstruct one concrete cycle through the SCC for the
+		// message, then attach every in-SCC edge's witness.
+		in := map[string]bool{}
+		for _, k := range scc {
+			in[k] = true
+		}
+		var witnesses []string
+		var first *edge
+		for _, e := range sortedEdges(g) {
+			if e.from != e.to && in[e.from] && in[e.to] {
+				if first == nil {
+					first = e
+				}
+				p := pp.Fset.Position(e.pos)
+				witnesses = append(witnesses, fmt.Sprintf("%s held (since %s:%d) while acquiring %s at %s:%d in %s%s",
+					framework.LockLabel(e.from), shortFile(pp, e.heldAt), pp.Fset.Position(e.heldAt).Line,
+					framework.LockLabel(e.to), shortFile2(p), p.Line, e.fn, viaSuffix(e)))
+			}
+		}
+		labels := make([]string, len(scc))
+		for i, k := range scc {
+			labels[i] = framework.LockLabel(k)
+		}
+		pp.Reportf(first.pos, "potential deadlock: lock-order cycle among {%s}; witness paths: %s",
+			join(labels), join(witnesses))
+	}
+}
+
+func viaSuffix(e *edge) string {
+	if e.via == nil {
+		return ""
+	}
+	return fmt.Sprintf(" via call to %s", e.via.Name())
+}
+
+func shortFile(pp *framework.ProgramPass, pos token.Pos) string {
+	return shortFile2(pp.Fset.Position(pos))
+}
+
+func shortFile2(p token.Position) string {
+	f := p.Filename
+	for i := len(f) - 1; i >= 0; i-- {
+		if f[i] == '/' {
+			return f[i+1:]
+		}
+	}
+	return f
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}
+
+func sortedEdges(g *graph) []*edge {
+	out := make([]*edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+// stringSCCs runs Tarjan over the key graph.
+func stringSCCs(g *graph, adj map[string][]string) [][]string {
+	var keys []string
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	index := map[string]int{}
+	lowlink := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	counter := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		lowlink[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+	return sccs
+}
+
+// dot renders the acquisition-order graph as Graphviz DOT, levels as
+// clusters where documented, deterministic order throughout.
+func dot(g *graph) []byte {
+	var b bytes.Buffer
+	b.WriteString("// Lock acquisition-order graph over the analyzed packages.\n")
+	b.WriteString("// Generated by muninvet's lockorder analyzer; an edge A -> B means\n")
+	b.WriteString("// \"some execution holds A while acquiring B\" (possibly through calls).\n")
+	b.WriteString("digraph lockorder {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	var keys []string
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		level, ok := facts.LockLevels[k]
+		if ok {
+			fmt.Fprintf(&b, "  %q [label=%q, xlabel=\"L%d\"];\n", framework.LockLabel(k), framework.LockLabel(k), level)
+		} else {
+			fmt.Fprintf(&b, "  %q [label=%q, style=dashed];\n", framework.LockLabel(k), framework.LockLabel(k))
+		}
+	}
+	for _, e := range sortedEdges(g) {
+		attr := ""
+		if e.via != nil {
+			attr = fmt.Sprintf(" [label=%q, style=dotted]", "via "+e.via.Name())
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", framework.LockLabel(e.from), framework.LockLabel(e.to), attr)
+	}
+	b.WriteString("}\n")
+	return b.Bytes()
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/framework"
+	"munin/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	framework.RunFixture(t, lockorder.Analyzer, "testdata/src/a")
+}

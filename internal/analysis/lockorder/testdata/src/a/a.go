@@ -1,0 +1,64 @@
+// Fixture for the lockorder analyzer. Local struct mutexes stand in
+// for the repo's long-lived locks: they are outside facts.LockLevels,
+// so the cycle and same-key-nesting rules apply while the hierarchy
+// rule stays out of the way.
+package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// lockB acquires B.mu; callers holding other locks pick this up as a
+// summary edge ("via call to a.lockB").
+func lockB(b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// cycleAB holds A.mu while a callee acquires B.mu — one direction of
+// the cycle, observed through the interprocedural summary.
+func cycleAB(a *A, b *B) {
+	a.mu.Lock()
+	lockB(b) // want `potential deadlock: lock-order cycle among \{a\.A\.mu; a\.B\.mu\}`
+	a.mu.Unlock()
+}
+
+// cycleBA holds B.mu while acquiring A.mu directly — the opposite
+// direction, closing the cycle.
+func cycleBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type obj struct{ mu sync.Mutex }
+
+// sameKeyNest holds one obj.mu while acquiring another instance of the
+// same field: field keying cannot order instances.
+func sameKeyNest(o1, o2 *obj) {
+	o1.mu.Lock()
+	o2.mu.Lock() // want `nested acquisition of a\.obj\.mu while an instance of it is already held`
+	o2.mu.Unlock()
+	o1.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// orderedCD and orderedCD2 nest C.mu before D.mu consistently: a
+// one-directional edge is fine.
+func orderedCD(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func orderedCD2(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package msgdispatch_test
+
+import (
+	"testing"
+
+	"munin/internal/analysis/framework"
+	"munin/internal/analysis/msgdispatch"
+)
+
+func TestMsgdispatch(t *testing.T) {
+	framework.RunFixture(t, msgdispatch.Analyzer, "testdata/src/a")
+}

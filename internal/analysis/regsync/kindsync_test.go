@@ -1,0 +1,143 @@
+// Message-kind synchronization: the dispatch switches in the source
+// tree and the "Message kinds" table in docs/ARCHITECTURE.md must
+// agree in both directions. A kind dispatched in code without a docs
+// row silently drifts out of the protocol story; a docs row whose
+// constant no switch dispatches describes a message nothing handles.
+package regsync
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// dispatchedKinds parses every production .go file under internal/
+// and collects "pkg.kindName" for each case arm of a `switch <x>.Kind`
+// dispatch statement. Purely syntactic: no type information needed,
+// because the muninvet msgdispatch analyzer already enforces the
+// type-level invariants on the same switches.
+func dispatchedKinds(t *testing.T) map[string]bool {
+	t.Helper()
+	root := filepath.Join(repoRoot(t), "internal")
+	out := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		pkg := file.Name.Name
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := sw.Tag.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Kind" {
+				return true
+			}
+			for _, clause := range sw.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if id, ok := e.(*ast.Ident); ok && strings.HasPrefix(id.Name, "kind") {
+						out[pkg+"."+id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no dispatch switches found under internal/")
+	}
+	return out
+}
+
+var kindTokenRe = regexp.MustCompile(`^[a-z][a-z0-9]*\.kind[A-Za-z0-9]+$`)
+
+// architectureKinds extracts the `pkg.kindName` tokens from the first
+// column of the ARCHITECTURE.md "Message kinds" table.
+func architectureKinds(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(repoRoot(t), "docs", "ARCHITECTURE.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	inTable := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "| Kind constant | Shape |"):
+			inTable = true
+			continue
+		case !inTable:
+			continue
+		case !strings.HasPrefix(line, "|"):
+			inTable = false
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 || strings.HasPrefix(strings.TrimSpace(cells[1]), "---") {
+			continue
+		}
+		for _, m := range backtickRe.FindAllStringSubmatch(cells[1], -1) {
+			if kindTokenRe.MatchString(m[1]) {
+				names = append(names, m[1])
+			}
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no Message kinds table found in docs/ARCHITECTURE.md")
+	}
+	return names
+}
+
+// TestKindTableDispatched: every docs row must name a constant some
+// dispatch switch actually handles.
+func TestKindTableDispatched(t *testing.T) {
+	dispatched := dispatchedKinds(t)
+	for _, name := range architectureKinds(t) {
+		if !dispatched[name] {
+			t.Errorf("ARCHITECTURE.md message table documents %q but no `switch req.Kind` case arm dispatches it", name)
+		}
+	}
+}
+
+// TestDispatchedKindsDocumented: every dispatched kind must have a
+// docs row.
+func TestDispatchedKindsDocumented(t *testing.T) {
+	documented := map[string]bool{}
+	for _, name := range architectureKinds(t) {
+		documented[name] = true
+	}
+	for name := range dispatchedKinds(t) {
+		if !documented[name] {
+			t.Errorf("kind %q is dispatched by a `switch req.Kind` case arm but missing from the ARCHITECTURE.md message kinds table", name)
+		}
+	}
+}

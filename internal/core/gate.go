@@ -312,6 +312,7 @@ func (s *System) handleRunGate(_ *vkernel.Kernel, req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	seq := r.U64()
 	if r.Err() != nil {
+		s.nodes[s.self].C.Add(stats.CGateDropMalformed, 1)
 		return
 	}
 	s.gateMu.Lock()
@@ -396,6 +397,7 @@ func (s *System) handleGateSync(req *msg.Msg) {
 	sum := r.U64()
 	n := r.Int()
 	if r.Err() != nil {
+		s.nodes[s.self].C.Add(stats.CGateDropMalformed, 1)
 		return
 	}
 	peer := req.From

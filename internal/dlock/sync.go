@@ -5,6 +5,7 @@ import (
 
 	"munin/internal/cluster"
 	"munin/internal/msg"
+	"munin/internal/stats"
 )
 
 // ---------------------------------------------------------------------
@@ -37,6 +38,7 @@ func (s *Service) handleBarrier(req *msg.Msg) {
 	id := BarrierID(r.U32())
 	n := r.Int()
 	if r.Err() != nil {
+		s.k.C.Add(stats.CDlockDropMalformed, 1)
 		return
 	}
 	s.mu.Lock()
@@ -105,6 +107,7 @@ func (s *Service) handleFetchAdd(req *msg.Msg) {
 	id := AtomicID(r.U32())
 	delta := r.I64()
 	if r.Err() != nil {
+		s.k.C.Add(stats.CDlockDropMalformed, 1)
 		return
 	}
 	a := s.atomicState(id)
@@ -119,6 +122,7 @@ func (s *Service) handleAtomLoad(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := AtomicID(r.U32())
 	if r.Err() != nil {
+		s.k.C.Add(stats.CDlockDropMalformed, 1)
 		return
 	}
 	a := s.atomicState(id)
@@ -192,6 +196,7 @@ func (s *Service) handleCondReg(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := CondID(r.U32())
 	if r.Err() != nil {
+		s.k.C.Add(stats.CDlockDropMalformed, 1)
 		return
 	}
 	c := s.condState(id)
@@ -208,6 +213,7 @@ func (s *Service) handleCondWait(req *msg.Msg) {
 	id := CondID(r.U32())
 	tkt := r.U64()
 	if r.Err() != nil {
+		s.k.C.Add(stats.CDlockDropMalformed, 1)
 		return
 	}
 	c := s.condState(id)
@@ -228,6 +234,7 @@ func (s *Service) handleCondSig(req *msg.Msg) {
 	id := CondID(r.U32())
 	all := r.Bool()
 	if r.Err() != nil {
+		s.k.C.Add(stats.CDlockDropMalformed, 1)
 		return
 	}
 	c := s.condState(id)

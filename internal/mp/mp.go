@@ -26,7 +26,6 @@ const (
 	kindGather  = msg.KindAppBase + 2 // Call: collect results
 	kindHalo    = msg.KindAppBase + 3 // Send: boundary row exchange
 	kindWork    = msg.KindAppBase + 4 // Call: work request / response
-	kindBound   = msg.KindAppBase + 5 // Send: bound improvement
 	kindBlock   = msg.KindAppBase + 6 // Call: bulk block transfer
 )
 

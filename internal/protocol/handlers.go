@@ -30,6 +30,7 @@ func (n *Node) handleRead(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := memory.ObjectID(r.U32())
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -127,6 +128,7 @@ func (n *Node) handleWriteOwn(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := memory.ObjectID(r.U32())
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -206,6 +208,7 @@ func (n *Node) handleInv(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := memory.ObjectID(r.U32())
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -229,6 +232,7 @@ func (n *Node) handleFetch(req *msg.Msg) {
 	id := memory.ObjectID(r.U32())
 	mode := r.U8()
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -281,6 +285,7 @@ func (n *Node) handleDiff(req *msg.Msg) {
 	defer putDecodeScratch(ds)
 	ds.spans, ds.buf = memory.DecodeSpansInto(ds.spans, ds.buf, r)
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	// The merge both installs the spans (copying into the home copy) and
@@ -574,6 +579,7 @@ func (n *Node) handleApply(req *msg.Msg) {
 		spans = ds.spans
 	}
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -661,6 +667,7 @@ func (n *Node) handleRemRead(req *msg.Msg) {
 	off := r.Int()
 	ln := r.Int()
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -700,6 +707,7 @@ func (n *Node) handleRemWrite(req *msg.Msg) {
 	off := r.Int()
 	data := append([]byte(nil), r.BytesN()...)
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -797,6 +805,7 @@ func (n *Node) handleRegCons(req *msg.Msg) {
 	id := memory.ObjectID(r.U32())
 	isProducer := r.Bool()
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -866,6 +875,7 @@ func (n *Node) handleConsUpd(req *msg.Msg) {
 		consumers = append(consumers, msg.NodeID(r.U32()))
 	}
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)
@@ -881,6 +891,7 @@ func (n *Node) handleEvict(req *msg.Msg) {
 	r := msg.NewReader(req.Payload)
 	id := memory.ObjectID(r.U32())
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	d := n.dirEntryOf(id)
@@ -896,6 +907,7 @@ func (n *Node) handleModeSw(req *msg.Msg) {
 	id := memory.ObjectID(r.U32())
 	replicated := r.Bool()
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)

@@ -166,6 +166,7 @@ func (n *Node) leaseWrite(o *Obj, off int, data []byte) {
 func (n *Node) handleLeaseRead(req *msg.Msg) {
 	lr, err := msg.DecodeLeaseReq(req.Payload)
 	if err != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(memory.ObjectID(lr.Obj))
@@ -196,6 +197,7 @@ func (n *Node) handleLeaseWrite(req *msg.Msg) {
 	off := r.Int()
 	data := r.BytesN()
 	if r.Err() != nil {
+		n.C.Add(stats.CDropMalformed, 1)
 		return
 	}
 	o := n.mustObj(id)

@@ -351,13 +351,13 @@ const (
 	kindRead       = msg.KindCohBase + 1  // Call: fetch a readable copy from home
 	kindWriteOwn   = msg.KindCohBase + 2  // Call: acquire exclusive ownership
 	kindInv        = msg.KindCohBase + 3  // Call: invalidate local copy (acked)
-	kindDiff       = msg.KindCohBase + 4  // Send: delayed update diff to home
+	kindDiff       = msg.KindCohBase + 4  // Call: delayed update diff to home (acked)
 	kindFetch      = msg.KindCohBase + 5  // Call: home asks current owner for data
-	kindApply      = msg.KindCohBase + 6  // Send/multicast: apply spans (or invalidate) at copies
+	kindApply      = msg.KindCohBase + 6  // Call/multicast: apply spans (or invalidate) at copies (acked)
 	kindRemRead    = msg.KindCohBase + 7  // Call: remote load (read-mostly, result readers)
 	kindRemWrite   = msg.KindCohBase + 8  // Call: remote store (read-mostly)
 	kindRegCons    = msg.KindCohBase + 9  // Call: register as consumer; reply data+seq
-	kindConsUpd    = msg.KindCohBase + 10 // Send: home tells producer the consumer set changed
+	kindConsUpd    = msg.KindCohBase + 10 // Call: home tells producer the consumer set changed (acked)
 	kindEvict      = msg.KindCohBase + 11 // Send: node dropped its copy (pageout)
 	kindModeSw     = msg.KindCohBase + 12 // Send/multicast: dynamic mode switch
 	kindDiffBatch  = msg.KindCohBase + 13 // Call: batched delayed-update diffs for one home

@@ -63,6 +63,7 @@ const (
 	CRecoverObjects        = "recover.objects"
 	CRecoverRejected       = "recover.rejected"
 	CRecoverDone           = "recover.done"
+	CDropMalformed         = "drop.malformed"
 
 	// core (counted on the protocol node): run-gate lifecycle.
 	CRecoverGateSynced = "recover.gate_synced"
@@ -70,12 +71,14 @@ const (
 	CMemberDownWait    = "member.down_wait"
 	CMemberReconnected = "member.reconnected"
 	CGateStalePurged   = "gate.stale_purged"
+	CGateDropMalformed = "gate.drop_malformed"
 
 	// dlock (counted on the kernel set): departure/recovery handling.
 	CDlockGoneDequeued    = "dlock.gone_dequeued"
 	CDlockGoneOwner       = "dlock.gone_owner"
 	CDlockRecoverDequeued = "dlock.recover_dequeued"
 	CDlockRecoverOwner    = "dlock.recover_owner"
+	CDlockDropMalformed   = "dlock.drop_malformed"
 
 	// vkernel: pending-call failure accounting.
 	CCallFailedPeer = "call.failed_peer"
@@ -144,17 +147,20 @@ var registered = map[string]string{
 	CRecoverObjects:        "protocol",
 	CRecoverRejected:       "protocol",
 	CRecoverDone:           "protocol",
+	CDropMalformed:         "protocol",
 
 	CRecoverGateSynced: "core",
 	CRecoverGateResync: "core",
 	CMemberDownWait:    "core",
 	CMemberReconnected: "core",
 	CGateStalePurged:   "core",
+	CGateDropMalformed: "core",
 
 	CDlockGoneDequeued:    "dlock",
 	CDlockGoneOwner:       "dlock",
 	CDlockRecoverDequeued: "dlock",
 	CDlockRecoverOwner:    "dlock",
+	CDlockDropMalformed:   "dlock",
 
 	CCallFailedPeer: "vkernel",
 	CCallFailedGone: "vkernel",
